@@ -1,0 +1,72 @@
+// E12 — the protocol on real threads (Fig. 4 sanity / host validation).
+//
+// The paper's model is asynchronous shared memory; our simulator realizes
+// it with an explicit adversary, and this experiment closes the loop on a
+// REAL asynchronous system: std::threads under genuine OS preemption, with
+// (value, stamp) packed into one atomic 64-bit word to honor the paper's
+// word+timestamp atomic-access postulate.
+//
+// Measurement: for thread counts {2, 4, 8}, run the host protocol until
+// the Theorem-1 scannable properties hold for a live phase; report the
+// observed phase, agreement throughput (cycles/s), and work.  Every
+// configuration must reach agreement — including oversubscribed ones
+// (more threads than cores), which maximize preemption asynchrony.
+#include "bench/common.h"
+#include "host/host_agreement.h"
+
+using namespace apex;
+using namespace apex::host;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::banner("E12: bin-array agreement on real std::threads",
+                "the protocol must reach a unanimous, accessible bin array "
+                "under genuine OS-scheduler asynchrony, at every thread count");
+
+  Table t({"threads", "runs", "satisfied", "phase_mean", "Mcycles/s",
+           "work_mean", "wall_ms_mean"});
+  bool all_ok = true;
+
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    int runs = 0, sat = 0;
+    double phase_sum = 0, cps_sum = 0, work_sum = 0, wall_sum = 0;
+    const int reps = opt.full ? 3 * opt.seeds : opt.seeds;
+    for (int s = 0; s < reps; ++s) {
+      HostConfig cfg;
+      cfg.nthreads = threads;
+      cfg.seed = 12'000 + static_cast<std::uint64_t>(s);
+      HostAgreement ha(cfg, [](std::size_t i, apex::Rng& rng) {
+        return 1000 * i + rng.below(1000);
+      });
+      const auto res = ha.run(20.0);
+      ++runs;
+      sat += res.satisfied;
+      if (!res.satisfied) {
+        all_ok = false;
+        continue;
+      }
+      // Sanity: agreed values must be in bin i's support.
+      for (std::size_t i = 0; i < threads; ++i)
+        if (res.values[i] / 1000 != i) all_ok = false;
+      phase_sum += res.phase;
+      cps_sum += static_cast<double>(res.cycles) / res.wall_seconds / 1e6;
+      work_sum += static_cast<double>(res.total_work);
+      wall_sum += res.wall_seconds * 1000.0;
+    }
+    t.row()
+        .cell(static_cast<std::uint64_t>(threads))
+        .cell(runs)
+        .cell(sat)
+        .cell(sat ? phase_sum / sat : 0.0, 1)
+        .cell(sat ? cps_sum / sat : 0.0, 2)
+        .cell(sat ? work_sum / sat : 0.0, 0)
+        .cell(sat ? wall_sum / sat : 0.0, 2);
+    if (sat != runs) all_ok = false;
+  }
+  opt.emit(t);
+
+  return bench::verdict(all_ok,
+                        "agreement reached at every thread count on real "
+                        "threads, with values from the correct supports — "
+                        "the protocol survives genuine asynchrony");
+}

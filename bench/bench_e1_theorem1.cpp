@@ -1,0 +1,92 @@
+// E1 — Theorem 1 headline bound.
+//
+// Paper claim: the agreement protocol lets n asynchronous processors agree
+// on n word-sized values in O(n log n log log n) total work (including busy
+// waiting), under any oblivious adversary schedule.
+//
+// Measurement: total work until uniqueness + accessibility + correctness
+// hold in every bin, swept over n and over the adversary family, normalized
+// by n·lg n·lglg n.  The ratio column should stay near-constant while the
+// per-n work grows by orders of magnitude; the log-log slope should be
+// close to 1 (quasilinear), far from 2 (the classical per-value consensus
+// shape).
+#include <cmath>
+
+#include "agreement/testbed.h"
+#include "bench/common.h"
+#include "util/math.h"
+#include "util/stats.h"
+
+using namespace apex;
+using namespace apex::agreement;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::banner("E1: Theorem 1 — total work for n-value agreement",
+                "predicts work = Theta(n log n log log n); table reports "
+                "work/(n lg n lglg n), which should be ~constant in n");
+
+  const auto kinds = {sim::ScheduleKind::kRoundRobin,
+                      sim::ScheduleKind::kUniformRandom,
+                      sim::ScheduleKind::kPowerLaw, sim::ScheduleKind::kBurst};
+
+  Table t({"sched", "n", "B", "omega", "runs", "work_mean", "work_ci95",
+           "work/nlglglg", "slope_sofar"});
+  bool all_ok = true;
+
+  for (auto kind : kinds) {
+    std::vector<double> xs, ys;
+    for (std::size_t n : opt.n_sweep(16, 1024, 4096)) {
+      Accumulator acc;
+      AgreementConfig probe_cfg;
+      probe_cfg.n = n;
+      for (int s = 0; s < opt.seeds; ++s) {
+        TestbedConfig cfg;
+        cfg.n = n;
+        cfg.seed = 1000 + static_cast<std::uint64_t>(s);
+        cfg.schedule = kind;
+        AgreementTestbed tb(cfg, uniform_task(1 << 20),
+                            uniform_support(1 << 20));
+        const std::uint64_t budget =
+            static_cast<std::uint64_t>(500.0 * n_logn_loglogn(n)) + 1000000;
+        const auto res = tb.run_until_agreement(budget);
+        if (!res.satisfied) {
+          all_ok = false;
+          continue;
+        }
+        acc.add(static_cast<double>(res.work));
+      }
+      if (acc.count() == 0) continue;
+      xs.push_back(static_cast<double>(n));
+      ys.push_back(acc.mean());
+      const double slope =
+          xs.size() >= 2 ? loglog_slope(xs, ys) : 0.0;
+      t.row()
+          .cell(sim::schedule_kind_name(kind))
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(static_cast<std::uint64_t>(probe_cfg.cells_per_bin()))
+          .cell(static_cast<std::uint64_t>(probe_cfg.omega()))
+          .cell(static_cast<std::uint64_t>(acc.count()))
+          .cell(acc.mean(), 0)
+          .cell(acc.ci95(), 0)
+          .cell(acc.mean() / n_logn_loglogn(n), 2)
+          .cell(slope, 3);
+    }
+    // Shape check per schedule: quasilinear, i.e. slope well below 1.6.
+    if (xs.size() >= 3) {
+      const double slope = loglog_slope(xs, ys);
+      if (slope > 1.6 || slope < 0.7) all_ok = false;
+      const auto fit = fit_ratio(ys, [&] {
+        std::vector<double> f;
+        for (double x : xs) f.push_back(n_logn_loglogn(static_cast<std::size_t>(x)));
+        return f;
+      }());
+      if (fit.spread > 6.0) all_ok = false;
+    }
+  }
+  opt.emit(t);
+  return bench::verdict(all_ok,
+                        "work grows quasilinearly (slope ~1) and the "
+                        "normalized ratio stays bounded across schedules — "
+                        "consistent with O(n log n log log n)");
+}

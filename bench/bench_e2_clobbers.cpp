@@ -1,0 +1,68 @@
+// E2 — Lemma 1: clobbers per bin.
+//
+// Paper claim: for any given phase, w.h.p. each bin suffers at most
+// O(log n) clobbers (writes by tardy processors still working on an earlier
+// phase).
+//
+// Measurement: run the standalone protocol across several phases under
+// sleeper adversaries (which manufacture tardiness) and report the maximum
+// clobbers observed in any bin, normalized by lg n.
+#include "agreement/testbed.h"
+#include "bench/common.h"
+#include "util/math.h"
+#include "util/stats.h"
+
+using namespace apex;
+using namespace apex::agreement;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::banner("E2: Lemma 1 — clobbers per bin per phase",
+                "predicts max clobbers/bin = O(log n) w.h.p. under tardy "
+                "(sleeper) schedules; max/lg(n) should stay bounded as n "
+                "grows");
+
+  Table t({"sched", "n", "phases", "clob_mean", "clob_max", "max/lg(n)"});
+  bool all_ok = true;
+
+  for (auto kind :
+       {sim::ScheduleKind::kSleeper, sim::ScheduleKind::kUniformRandom,
+        sim::ScheduleKind::kBurst}) {
+    for (std::size_t n : opt.n_sweep(32, 512, 2048)) {
+      Accumulator mean_acc;
+      std::uint32_t worst = 0;
+      std::size_t phases = 0;
+      for (int s = 0; s < opt.seeds; ++s) {
+        TestbedConfig cfg;
+        cfg.n = n;
+        cfg.seed = 2000 + static_cast<std::uint64_t>(s);
+        cfg.schedule = kind;
+        AgreementTestbed tb(cfg, uniform_task(1 << 20),
+                            uniform_support(1 << 20));
+        // Run long enough for ~4 phases.
+        tb.run_more(
+            static_cast<std::uint64_t>(450.0 * n_logn_loglogn(n)) + 500000);
+        for (const auto& rep : tb.audit().finalized()) {
+          mean_acc.add(rep.mean_clobbers());
+          worst = std::max(worst, rep.max_clobbers());
+          ++phases;
+        }
+      }
+      if (phases == 0) continue;
+      const double norm = static_cast<double>(worst) / lg(n);
+      t.row()
+          .cell(sim::schedule_kind_name(kind))
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(static_cast<std::uint64_t>(phases))
+          .cell(mean_acc.mean(), 3)
+          .cell(static_cast<std::uint64_t>(worst))
+          .cell(norm, 2);
+      // Bounded constant times lg n (generous: 25).
+      if (norm > 25.0) all_ok = false;
+    }
+  }
+  opt.emit(t);
+  return bench::verdict(all_ok,
+                        "max clobbers per bin stays within a constant "
+                        "multiple of lg(n) — consistent with Lemma 1");
+}

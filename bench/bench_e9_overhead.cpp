@@ -1,0 +1,89 @@
+// E9 — execution overhead of the nondeterministic scheme (paper §1, §2).
+//
+// Paper claim: augmenting a deterministic execution scheme with the
+// bin-array agreement protocol lets it run NONDETERMINISTIC programs at an
+// O(log n log log n) work overhead per PRAM step (previous schemes either
+// rejected nondeterministic programs or, with classical consensus, would
+// pay O~(n) overhead).
+//
+// Measurement: run T-step randomized PRAM programs (independent coin
+// matrix) under the full scheme, report work / (T·n) — the per-step,
+// per-processor overhead — against lg n · lglg n, swept over n.  The
+// normalized column should stay bounded; the log-log slope of overhead vs
+// n must be far below 1 (a linear overhead would indicate the classical-
+// consensus shape).  The deterministic baseline scheme (it cannot run this
+// program correctly, but its clock/copy machinery is the same) provides
+// the overhead floor attributable to phase-clocked execution itself.
+#include "bench/common.h"
+#include "exec/executor.h"
+#include "pram/workloads.h"
+#include "util/math.h"
+#include "util/stats.h"
+
+using namespace apex;
+using namespace apex::exec;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::banner("E9: execution overhead — work per PRAM step per processor",
+                "predicts nondet-scheme overhead = O(lg n * lglg n); "
+                "overhead/(lg n lglg n) should stay ~constant in n");
+
+  const std::size_t T = 6;
+  Table t({"n", "T", "det_ovh", "nondet_ovh", "ovh/lg*lglg", "ratio_vs_det",
+           "slope_sofar"});
+  bool all_ok = true;
+  std::vector<double> xs, ys;
+
+  for (std::size_t n : opt.n_sweep(8, 128, 512)) {
+    Accumulator det_acc, nondet_acc;
+    for (int s = 0; s < opt.seeds; ++s) {
+      pram::Program p = pram::make_coin_matrix(n, T, 0.5);
+      for (Scheme scheme : {Scheme::kDeterministic, Scheme::kNondeterministic}) {
+        ExecConfig cfg;
+        cfg.seed = 9000 + static_cast<std::uint64_t>(s);
+        Executor ex(p, scheme, cfg);
+        const auto res = ex.run(Executor::default_budget(p));
+        if (!res.completed) {
+          all_ok = false;
+          continue;
+        }
+        const double ovh = static_cast<double>(res.total_work) /
+                           (static_cast<double>(T) * static_cast<double>(n));
+        (scheme == Scheme::kDeterministic ? det_acc : nondet_acc).add(ovh);
+      }
+    }
+    if (nondet_acc.count() == 0 || det_acc.count() == 0) continue;
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(nondet_acc.mean());
+    const double norm = nondet_acc.mean() / (lg(n) * static_cast<double>(lglg(n)));
+    t.row()
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(static_cast<std::uint64_t>(T))
+        .cell(det_acc.mean(), 1)
+        .cell(nondet_acc.mean(), 1)
+        .cell(norm, 2)
+        .cell(nondet_acc.mean() / det_acc.mean(), 2)
+        .cell(xs.size() >= 2 ? loglog_slope(xs, ys) : 0.0, 3);
+  }
+  opt.emit(t);
+
+  if (xs.size() >= 3) {
+    const double slope = loglog_slope(xs, ys);
+    std::printf("\noverhead-vs-n log-log slope: %.3f (polylog expected: << 1; "
+                "classical-consensus shape would be ~1)\n", slope);
+    if (slope > 0.6) all_ok = false;
+    std::vector<double> f;
+    for (double x : xs)
+      f.push_back(lg(static_cast<std::uint64_t>(x)) *
+                  static_cast<double>(lglg(static_cast<std::uint64_t>(x))));
+    const auto fit = fit_ratio(ys, f);
+    std::printf("overhead/(lg n lglg n) spread across n: %.2fx\n", fit.spread);
+    if (fit.spread > 6.0) all_ok = false;
+  }
+
+  return bench::verdict(all_ok,
+                        "per-step overhead grows polylogarithmically "
+                        "(slope << 1) and tracks lg n * lglg n — the paper's "
+                        "O(log n log log n) overhead");
+}

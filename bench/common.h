@@ -1,0 +1,67 @@
+// Shared helpers for the experiment binaries (E1-E13).
+//
+// Every binary prints one or more aligned tables — the series the paper's
+// theorem/lemma/figure predicts — and exits 0 when the measured shape
+// matches the prediction (so `for b in build/bench/*; do $b; done` doubles
+// as a reproduction check).  `--csv` switches to CSV; `--full` enlarges the
+// sweeps; `--seeds=K` controls replication.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/table.h"
+
+namespace apex::bench {
+
+struct Options {
+  bool csv = false;
+  bool full = false;
+  int seeds = 3;
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--csv") o.csv = true;
+      else if (a == "--full") o.full = true;
+      else if (a.rfind("--seeds=", 0) == 0) o.seeds = std::stoi(a.substr(8));
+      else if (a == "--help" || a == "-h") {
+        std::printf("usage: %s [--csv] [--full] [--seeds=K]\n", argv[0]);
+        std::exit(0);
+      }
+    }
+    if (o.seeds < 1) o.seeds = 1;
+    return o;
+  }
+
+  void emit(const Table& t) const {
+    if (csv) t.print_csv(std::cout);
+    else t.print(std::cout);
+  }
+
+  std::vector<std::size_t> n_sweep(std::size_t lo, std::size_t hi_default,
+                                   std::size_t hi_full) const {
+    std::vector<std::size_t> ns;
+    const std::size_t hi = full ? hi_full : hi_default;
+    for (std::size_t n = lo; n <= hi; n *= 2) ns.push_back(n);
+    return ns;
+  }
+};
+
+/// Banner naming the experiment and the paper artifact it reproduces.
+inline void banner(const char* id, const char* claim) {
+  std::printf("=== %s ===\n%s\n\n", id, claim);
+}
+
+/// Final verdict line; returns the process exit code.
+inline int verdict(bool ok, const char* summary) {
+  std::printf("\n[%s] %s\n", ok ? "PASS" : "FAIL", summary);
+  return ok ? 0 : 1;
+}
+
+}  // namespace apex::bench

@@ -1,0 +1,76 @@
+// Quickstart: write a tiny RANDOMIZED PRAM program, run it on the
+// asynchronous host via the paper's execution scheme, and inspect the
+// result.
+//
+//   $ ./quickstart
+//
+// The program (8 threads):
+//   step 0: every thread draws a random value r_i in [0, 100)
+//   step 1: thread i computes s_i = r_i + r_{(i+1) mod 8}   (via staging)
+//
+// Because step 0 is nondeterministic, the classical deterministic
+// execution schemes cannot run this program: different re-executions of
+// the same draw would disagree.  The bin-array agreement protocol makes
+// all processors adopt ONE value per draw before anything downstream reads
+// it.
+#include <cstdio>
+
+#include "core/apex.h"
+
+using namespace apex;
+
+int main() {
+  constexpr std::size_t kN = 8;
+
+  // Variables: r[0..8) draws, c[8..16) staged copies, s[16..24) sums.
+  pram::ProgramBuilder b(kN, 3 * kN);
+  b.step().all([](std::size_t i) {
+    return pram::Instr::rand_below(static_cast<std::uint32_t>(i), 100);
+  });
+  b.step().all([](std::size_t i) {  // stage the right neighbour (EREW!)
+    return pram::Instr::copy(static_cast<std::uint32_t>(kN + i),
+                             static_cast<std::uint32_t>((i + 1) % kN));
+  });
+  b.step().all([](std::size_t i) {
+    return pram::Instr::add(static_cast<std::uint32_t>(2 * kN + i),
+                            static_cast<std::uint32_t>(i),
+                            static_cast<std::uint32_t>(kN + i));
+  });
+  pram::Program prog = b.build();  // throws if the program violates EREW
+
+  std::printf("program:\n%s\n", prog.to_string().c_str());
+
+  // Run it on the asynchronous host: n virtual processors under a random
+  // adversary schedule, with the bin-array agreement protocol inserted
+  // into every Compute subphase.
+  exec::ExecConfig cfg;
+  cfg.seed = 42;
+  cfg.schedule = sim::ScheduleKind::kUniformRandom;
+  const auto run = exec::run_checked(prog, exec::Scheme::kNondeterministic, cfg);
+
+  std::printf("completed        : %s\n", run.result.completed ? "yes" : "no");
+  std::printf("total work       : %llu steps (all processors, incl. waiting)\n",
+              static_cast<unsigned long long>(run.result.total_work));
+  std::printf("incomplete tasks : %llu\n",
+              static_cast<unsigned long long>(run.result.incomplete_tasks));
+  std::printf("consistency      : %s\n",
+              run.consistency_error.empty() ? "OK (matches a valid synchronous run)"
+                                            : run.consistency_error.c_str());
+
+  std::printf("\n  i   r_i   r_(i+1)   s_i = r_i + r_(i+1)\n");
+  bool all_ok = true;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const auto r = run.result.memory[i];
+    const auto rn = run.result.memory[(i + 1) % kN];
+    const auto s = run.result.memory[2 * kN + i];
+    all_ok &= (s == r + rn);
+    std::printf("  %zu   %3llu   %3llu       %3llu %s\n", i,
+                static_cast<unsigned long long>(r),
+                static_cast<unsigned long long>(rn),
+                static_cast<unsigned long long>(s),
+                s == r + rn ? "" : "  <-- INCONSISTENT");
+  }
+  std::printf("\n%s\n", all_ok ? "every sum is consistent with the agreed draws"
+                               : "INCONSISTENCY DETECTED");
+  return all_ok && run.consistency_error.empty() ? 0 : 1;
+}

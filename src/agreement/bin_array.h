@@ -1,0 +1,109 @@
+// The bin array (paper §3).
+//
+// An array of n bins, one per consensus value; each bin has B = β·log n
+// timestamped cells.  The same physical array is reused across all phases of
+// the execution scheme: a cell is FILLED (for phase π) iff its stamp equals
+// π, and EMPTY otherwise — stale stamps from earlier phases count as empty,
+// which is how the protocol distinguishes current from obsolete values
+// without ever clearing memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/memory.h"
+#include "util/math.h"
+
+namespace apex::agreement {
+
+class BinArray {
+ public:
+  /// Carve an n-bin array with `cells_per_bin` cells per bin out of `mem`.
+  BinArray(sim::Memory& mem, std::size_t n, std::size_t cells_per_bin)
+      : mem_(&mem), n_(n), b_(cells_per_bin), base_(mem.extend(n * cells_per_bin)) {}
+
+  /// Canonical sizing: B = β·lg n (min 4 so the halves are non-degenerate).
+  static std::size_t cells_for(std::size_t n, std::size_t beta) {
+    return std::max<std::size_t>(4, beta * lg(n));
+  }
+
+  std::size_t bins() const noexcept { return n_; }
+  std::size_t cells_per_bin() const noexcept { return b_; }
+  std::size_t base_addr() const noexcept { return base_; }
+  std::size_t size_words() const noexcept { return n_ * b_; }
+
+  /// Address of Bin_i[j] (0-based cell index; the paper's Bin_i[1] is j=0).
+  std::size_t addr(std::size_t bin, std::size_t cell) const noexcept {
+    return base_ + bin * b_ + cell;
+  }
+
+  /// First cell index of the "upper half" [B/2, B) from which agreement
+  /// values are read (paper §3, "Obtaining the agreement values").
+  std::size_t upper_half_begin() const noexcept { return b_ / 2; }
+
+  bool owns(std::size_t a) const noexcept {
+    return a >= base_ && a < base_ + n_ * b_;
+  }
+  std::size_t bin_of(std::size_t a) const noexcept { return (a - base_) / b_; }
+  std::size_t cell_of(std::size_t a) const noexcept { return (a - base_) % b_; }
+
+  // ---- Out-of-band inspection (costs no model work) ------------------------
+
+  bool filled(std::size_t bin, std::size_t cell, sim::Word phase) const {
+    return mem_->at(addr(bin, cell)).stamp == phase;
+  }
+
+  sim::Word value(std::size_t bin, std::size_t cell) const {
+    return mem_->at(addr(bin, cell)).value;
+  }
+
+  /// The frontier: lowest cell index never written in phase `phase`
+  /// ... as far as stamps can tell: lowest index whose stamp != phase and
+  /// with no higher filled cell below it is not distinguishable from a
+  /// clobbered hole, so this returns the lowest empty index (the quantity
+  /// the in-model binary search approximates).
+  std::size_t first_empty(std::size_t bin, sim::Word phase) const {
+    for (std::size_t j = 0; j < b_; ++j)
+      if (!filled(bin, j, phase)) return j;
+    return b_;
+  }
+
+  /// Number of filled cells in the upper half.
+  std::size_t upper_half_filled(std::size_t bin, sim::Word phase) const {
+    std::size_t cnt = 0;
+    for (std::size_t j = upper_half_begin(); j < b_; ++j)
+      cnt += filled(bin, j, phase);
+    return cnt;
+  }
+
+  /// All distinct values currently filled in the upper half.
+  std::vector<sim::Word> upper_half_values(std::size_t bin,
+                                           sim::Word phase) const {
+    std::vector<sim::Word> vals;
+    for (std::size_t j = upper_half_begin(); j < b_; ++j) {
+      if (!filled(bin, j, phase)) continue;
+      const sim::Word v = value(bin, j);
+      bool seen = false;
+      for (auto w : vals) seen |= (w == v);
+      if (!seen) vals.push_back(v);
+    }
+    return vals;
+  }
+
+  /// The agreed value if the upper half exposes exactly one (out-of-band).
+  std::optional<sim::Word> agreed_value(std::size_t bin, sim::Word phase) const {
+    const auto vals = upper_half_values(bin, phase);
+    if (vals.size() == 1) return vals[0];
+    return std::nullopt;
+  }
+
+ private:
+  sim::Memory* mem_;
+  std::size_t n_;
+  std::size_t b_;
+  std::size_t base_;
+};
+
+}  // namespace apex::agreement

@@ -1,0 +1,241 @@
+#include "agreement/inspect.h"
+
+#include <algorithm>
+#include <map>
+
+namespace apex::agreement {
+
+// ---------------------------------------------------------------------------
+// TheoremChecker
+// ---------------------------------------------------------------------------
+
+TheoremStatus TheoremChecker::check(sim::Word phase) const {
+  TheoremStatus st;
+  st.accessibility = true;
+  st.uniqueness = true;
+  st.correctness = true;
+  const std::size_t b = bins_->cells_per_bin();
+  const std::size_t upper = b - bins_->upper_half_begin();
+  for (std::size_t i = 0; i < bins_->bins(); ++i) {
+    const std::size_t filled = bins_->upper_half_filled(i, phase);
+    if (2 * filled < upper) st.accessibility = false;
+    const auto vals = bins_->upper_half_values(i, phase);
+    if (vals.size() > 1) st.uniqueness = false;
+    if (vals.size() == 1 && support_ && !support_(i, vals[0]))
+      st.correctness = false;
+  }
+  return st;
+}
+
+bool TheoremChecker::satisfied(sim::Word phase) const {
+  const std::size_t b = bins_->cells_per_bin();
+  const std::size_t upper = b - bins_->upper_half_begin();
+  for (std::size_t i = 0; i < bins_->bins(); ++i) {
+    const std::size_t filled = bins_->upper_half_filled(i, phase);
+    if (2 * filled < upper) return false;
+    const auto vals = bins_->upper_half_values(i, phase);
+    if (vals.size() != 1) return false;
+    if (support_ && !support_(i, vals[0])) return false;
+  }
+  return true;
+}
+
+std::vector<std::optional<sim::Word>> TheoremChecker::values(
+    sim::Word phase) const {
+  std::vector<std::optional<sim::Word>> out(bins_->bins());
+  for (std::size_t i = 0; i < bins_->bins(); ++i)
+    out[i] = bins_->agreed_value(i, phase);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PhaseAudit
+// ---------------------------------------------------------------------------
+
+std::uint32_t PhaseAudit::max_clobbers() const {
+  std::uint32_t m = 0;
+  for (auto c : clobbers) m = std::max(m, c);
+  return m;
+}
+
+double PhaseAudit::mean_clobbers() const {
+  if (clobbers.empty()) return 0.0;
+  double s = 0;
+  for (auto c : clobbers) s += c;
+  return s / static_cast<double>(clobbers.size());
+}
+
+std::uint32_t PhaseAudit::max_stable_from() const {
+  std::uint32_t m = 0;
+  for (auto c : stable_from) m = std::max(m, c);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// ClobberAudit
+// ---------------------------------------------------------------------------
+
+ClobberAudit::ClobberAudit(const BinArray& bins,
+                           const clockx::PhaseClock& clock)
+    : bins_(&bins), clock_(&clock) {
+  const std::size_t n = bins.bins();
+  const std::size_t b = bins.cells_per_bin();
+  ever_written_.assign(n, std::vector<std::uint8_t>(b, 0));
+  filled_.assign(n, std::vector<std::uint8_t>(b, 0));
+  first_value_.assign(n, std::vector<sim::Word>(b, 0));
+  has_value_.assign(n, std::vector<std::uint8_t>(b, 0));
+  conflict_.assign(n, std::vector<std::uint8_t>(b, 0));
+  current_.phase = 1;
+  current_.work_begin = 0;
+  current_.clobbers.assign(n, 0);
+  current_.stable_from.assign(n, 0);
+}
+
+void ClobberAudit::roll_phase(sim::Word new_phase, std::uint64_t work_now) {
+  // Finalize the phase that just ended.
+  current_.work_end = work_now;
+  for (std::size_t i = 0; i < bins_->bins(); ++i) {
+    std::uint32_t sf = 0;
+    for (std::size_t j = 0; j < bins_->cells_per_bin(); ++j)
+      if (conflict_[i][j]) sf = static_cast<std::uint32_t>(j + 1);
+    current_.stable_from[i] = sf;
+  }
+  done_.push_back(current_);
+
+  // Reset shadows for the new phase.
+  const std::size_t n = bins_->bins();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::fill(ever_written_[i].begin(), ever_written_[i].end(), 0);
+    std::fill(filled_[i].begin(), filled_[i].end(), 0);
+    std::fill(has_value_[i].begin(), has_value_[i].end(), 0);
+    std::fill(conflict_[i].begin(), conflict_[i].end(), 0);
+  }
+  current_ = PhaseAudit{};
+  current_.phase = new_phase;
+  current_.work_begin = work_now;
+  current_.clobbers.assign(n, 0);
+  current_.stable_from.assign(n, 0);
+  true_phase_ = new_phase;
+}
+
+void ClobberAudit::on_step(const sim::StepEvent& ev) {
+  if (ev.op.kind != sim::Op::Kind::Write) return;
+
+  if (clock_->owns(ev.op.addr)) {
+    // Track the exact number of increments without rescanning: each clock
+    // write stores before+1 when un-raced; a racy write can repeat a value
+    // (lost update), in which case the delta is <= 0 and total is unchanged.
+    if (ev.after.value > ev.before.value)
+      clock_total_ += ev.after.value - ev.before.value;
+    const sim::Word tick = clock_total_ / clock_->threshold();
+    if (tick + 1 != true_phase_) roll_phase(tick + 1, ev.time + 1);
+    return;
+  }
+
+  if (!bins_->owns(ev.op.addr)) return;
+  const std::size_t i = bins_->bin_of(ev.op.addr);
+  const std::size_t j = bins_->cell_of(ev.op.addr);
+
+  if (ev.op.stamp == true_phase_) {
+    ever_written_[i][j] = 1;
+    filled_[i][j] = 1;
+    if (!has_value_[i][j]) {
+      has_value_[i][j] = 1;
+      first_value_[i][j] = ev.op.value;
+    } else if (first_value_[i][j] != ev.op.value) {
+      conflict_[i][j] = 1;
+    }
+  } else {
+    // A write carrying a non-current stamp: a tardy processor operating for
+    // an earlier phase.  That is a clobber of the current phase (it turns a
+    // current cell stale / creates a hole below the frontier).
+    current_.clobbers[i] += 1;
+    filled_[i][j] = 0;
+  }
+}
+
+PhaseAudit ClobberAudit::snapshot() const {
+  PhaseAudit out = current_;
+  for (std::size_t i = 0; i < bins_->bins(); ++i) {
+    std::uint32_t sf = 0;
+    for (std::size_t j = 0; j < bins_->cells_per_bin(); ++j)
+      if (conflict_[i][j]) sf = static_cast<std::uint32_t>(j + 1);
+    out.stable_from[i] = sf;
+  }
+  return out;
+}
+
+std::size_t ClobberAudit::frontier(std::size_t bin) const {
+  const auto& ew = ever_written_.at(bin);
+  for (std::size_t j = 0; j < ew.size(); ++j)
+    if (!ew[j]) return j;
+  return ew.size();
+}
+
+std::size_t ClobberAudit::holes(std::size_t bin) const {
+  const std::size_t f = frontier(bin);
+  std::size_t h = 0;
+  for (std::size_t j = 0; j < f; ++j) h += (filled_.at(bin)[j] == 0);
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// StageAnalysis
+// ---------------------------------------------------------------------------
+
+StageAnalysis::Report StageAnalysis::finalize() const {
+  Report rep;
+  rep.per_bin_structures.assign(nbins_, 0);
+  if (records_.empty() || stage_len_ == 0) return rep;
+
+  auto stage_of = [&](std::uint64_t t) { return t / stage_len_; };  // 0-based
+
+  std::uint64_t max_f_stage = 0;
+  for (const auto& r : records_)
+    max_f_stage = std::max(max_f_stage, stage_of(r.f_time));
+  // Only stages that certainly completed (everything before the last one).
+  const std::uint64_t nstages = max_f_stage;  // stages 0..nstages-1 complete
+  if (nstages == 0) return rep;
+
+  rep.complete_per_stage.assign(nstages, 0);
+
+  // Per (bin, stage) summaries for Definition 2.
+  struct BinStage {
+    std::uint64_t complete = 0;  ///< Cycles with S,F both in the stage.
+    std::uint64_t d_escape = 0;  ///< Cycles with D in the stage but F outside.
+  };
+  std::map<std::pair<std::size_t, std::uint64_t>, BinStage> bs;
+
+  for (const auto& r : records_) {
+    const std::uint64_t ss = stage_of(r.s_time);
+    const std::uint64_t sd = stage_of(r.d_time);
+    const std::uint64_t sf = stage_of(r.f_time);
+    if (ss == sf && ss < nstages) {
+      rep.complete_per_stage[ss] += 1;
+      bs[{r.bin, ss}].complete += 1;
+    }
+    if (sd != sf && sd < nstages) bs[{r.bin, sd}].d_escape += 1;
+  }
+
+  // Disjoint stage pairs: paper's (Π_{2k-1}, Π_{2k}) with 1-based stages is
+  // 0-based pairs (2m, 2m+1).
+  const std::uint64_t npairs = nstages / 2;
+  rep.pairs_examined = npairs * nbins_;
+  for (std::uint64_t m = 0; m < npairs; ++m) {
+    for (std::size_t bin = 0; bin < nbins_; ++bin) {
+      const auto a = bs.find({bin, 2 * m});
+      const auto b = bs.find({bin, 2 * m + 1});
+      const bool ok_a =
+          a != bs.end() && a->second.complete == 1 && a->second.d_escape == 0;
+      const bool ok_b =
+          b != bs.end() && b->second.complete == 1 && b->second.d_escape == 0;
+      if (ok_a && ok_b) {
+        rep.stabilizing_structures += 1;
+        rep.per_bin_structures[bin] += 1;
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace apex::agreement

@@ -1,0 +1,132 @@
+// The agreement protocol (paper §3, Fig. 2).
+//
+// Processors repeatedly execute identical CYCLES.  One cycle:
+//   line 1   choose a bin Bin_i uniformly at random           (1 local step)
+//   lines 2-4  binary-search Bin_i for its first empty cell j
+//              ("empty" = stamp != current phase)             (⌈log2(B+1)⌉ reads)
+//   line 5+  if j = 1: evaluate f_i^(π) and write (v, π) to Bin_i[1]
+//            else: re-read Bin_i[j-1]; if it is filled, copy its value to
+//            Bin_i[j] with stamp π; a stale re-read (the cell was clobbered
+//            between the search probe and now) writes nothing.
+//   pad with no-ops so EVERY cycle costs exactly ω steps, independent of
+//   all random choices (§3 "Work Per Cycle").
+//
+// ω = Θ(log log n) because B = β·log n, so the search is ⌈log2(B+1)⌉ =
+// Θ(log log n) probes and everything else is O(1).
+//
+// After O(n log n) cycles — O(n log n log log n) work — every bin has, with
+// high probability, a unique stable value readable from its upper half
+// (Theorem 1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "agreement/bin_array.h"
+#include "clock/phase_clock.h"
+#include "sim/proc.h"
+#include "sim/subtask.h"
+
+namespace apex::agreement {
+
+/// Result of evaluating f_i^(π): the computed value, or nullopt when the
+/// evaluation could not complete (e.g. the execution scheme's Compute task
+/// found an operand not yet written — the cycle then writes nothing and the
+/// task is retried by a later cycle).
+using TaskResult = std::optional<sim::Word>;
+
+/// Evaluates the nondeterministic function f_i^(π) for bin `i` in phase
+/// `phase`.  May read shared memory and draw from ctx.rng(); must cost at
+/// most `AgreementConfig::compute_steps` atomic steps on every invocation.
+using TaskFn = std::function<sim::SubTask<TaskResult>(
+    sim::Ctx& ctx, std::size_t i, sim::Word phase)>;
+
+struct AgreementConfig {
+  std::size_t n = 0;            ///< Number of values = number of bins.
+  std::size_t beta = 8;         ///< Bin has B = β·lg n cells.
+  std::size_t compute_steps = 1;///< Upper bound on TaskFn's step cost.
+
+  std::size_t cells_per_bin() const { return BinArray::cells_for(n, beta); }
+
+  /// Binary-search probe count: fixed for a given B (range [−1, B] halves
+  /// deterministically), hence identical across cycles.
+  std::size_t search_probes() const {
+    return ceil_log2(cells_per_bin() + 1);
+  }
+
+  /// ω: the exact per-cycle step budget.  Covers the worst of the two write
+  /// branches: 1 (bin choice) + probes + max(compute_steps + 1, 2).
+  std::uint64_t omega() const {
+    const std::uint64_t tail =
+        std::max<std::uint64_t>(compute_steps + 1, 2);
+    return 1 + search_probes() + tail;
+  }
+};
+
+/// Everything a processor needs to run agreement cycles.
+struct AgreementRuntime;
+
+/// Record of one executed cycle, for the Lemma inspectors (timing fields
+/// are global work-unit indices, matching the paper's S[C], D[C], F[C]).
+struct CycleRecord {
+  std::size_t proc = 0;
+  std::size_t bin = 0;
+  sim::Word phase = 0;     ///< The phase stamp this cycle used (may be stale).
+  std::uint64_t s_time = 0;///< Global time at cycle start.
+  std::uint64_t d_time = 0;///< Global time after the search, before writing.
+  std::uint64_t f_time = 0;///< Global time at cycle end (after padding).
+  int wrote_cell = -1;     ///< Cell index written, -1 if the cycle wrote nothing.
+  sim::Word wrote_value = 0;
+  bool evaluated_f = false;///< True when the cycle computed f (wrote cell 0).
+};
+
+/// Protocol-level observer (out-of-band; must not mutate shared memory).
+class AgreementObserver {
+ public:
+  virtual ~AgreementObserver() = default;
+  virtual void on_cycle(const CycleRecord&) {}
+  /// A processor's local phase estimate changed to `phase`.
+  virtual void on_phase_enter(std::size_t /*proc*/, sim::Word /*phase*/) {}
+};
+
+struct AgreementRuntime {
+  AgreementConfig cfg;
+  BinArray* bins = nullptr;
+  clockx::PhaseClock* clock = nullptr;
+  TaskFn task;
+  AgreementObserver* observer = nullptr;
+};
+
+/// One cycle of the agreement procedure (Fig. 2), at phase estimate `phase`.
+/// Costs exactly cfg.omega() atomic steps.
+sim::SubTask<void> agreement_cycle(sim::Ctx& ctx, AgreementRuntime& rt,
+                                   sim::Word phase);
+
+/// Obtain agreement value NewVal[i]: scan the upper half of Bin_i and
+/// return the first filled value (paper §3 "Obtaining the agreement
+/// values").  Expected O(1) probes once Accessibility holds (at least half
+/// the scanned cells are filled); at most B − ⌊B/2⌋ reads when the bin is
+/// not ready, in which case nullopt is returned and the caller retries.
+sim::SubTask<std::optional<sim::Word>> read_agreed(sim::Ctx& ctx,
+                                                   const BinArray& bins,
+                                                   std::size_t i,
+                                                   sim::Word phase);
+
+/// The standalone driver (§3): loop cycles forever; every lg n cycles,
+/// invoke Update-Clock and re-read the Phase Clock (phase = tick + 1).
+/// Used by the Theorem 1 / Lemma benches; the full execution scheme embeds
+/// cycles in its own driver (src/exec).
+sim::ProcTask agreement_proc(sim::Ctx& ctx, AgreementRuntime& rt);
+
+namespace detail {
+/// Binary search (Fig. 2 lines 2-4) for the first empty cell of `bin` at
+/// `phase`.  Exactly ⌈log2(B+1)⌉ probe reads, independent of contents.
+/// With holes present the result may land on a hole rather than the true
+/// frontier, exactly as the paper's analysis allows.  Exposed for tests.
+sim::SubTask<std::size_t> search_first_empty(sim::Ctx& ctx,
+                                             const BinArray& bins,
+                                             std::size_t bin, sim::Word phase);
+}  // namespace detail
+
+}  // namespace apex::agreement

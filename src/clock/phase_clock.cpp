@@ -1,0 +1,50 @@
+#include "clock/phase_clock.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace apex::clockx {
+
+PhaseClock::PhaseClock(sim::Memory& mem, ClockConfig cfg) : mem_(&mem) {
+  if (cfg.nprocs == 0) throw std::invalid_argument("PhaseClock: nprocs == 0");
+  if (cfg.alpha <= 0.0) throw std::invalid_argument("PhaseClock: alpha <= 0");
+  m_ = cfg.slots != 0 ? cfg.slots : cfg.nprocs;
+  s_ = cfg.read_samples != 0 ? cfg.read_samples
+                             : static_cast<std::size_t>(3 * lg(cfg.nprocs));
+  tau_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(cfg.alpha * static_cast<double>(cfg.nprocs)));
+  base_ = mem.extend(m_);
+  reader_clamp_.assign(cfg.nprocs, 0);
+}
+
+sim::SubTask<void> PhaseClock::update(sim::Ctx& ctx) {
+  const std::size_t r = static_cast<std::size_t>(ctx.rng().below(m_));
+  const sim::Cell c = co_await ctx.read(base_ + r);
+  co_await ctx.write(base_ + r, c.value + 1, 0);
+}
+
+sim::SubTask<std::uint64_t> PhaseClock::read(sim::Ctx& ctx) {
+  std::uint64_t sampled = 0;
+  for (std::size_t k = 0; k < s_; ++k) {
+    const std::size_t r = static_cast<std::size_t>(ctx.rng().below(m_));
+    const sim::Cell c = co_await ctx.read(base_ + r);
+    sampled += c.value;
+  }
+  // One local step: scale the sample to an estimate and divide by τ.
+  co_await ctx.local();
+  const double est_total = static_cast<double>(sampled) *
+                           (static_cast<double>(m_) / static_cast<double>(s_));
+  const std::uint64_t tick =
+      static_cast<std::uint64_t>(est_total) / tau_;
+  auto& clamp = reader_clamp_.at(ctx.id());
+  clamp = std::max(clamp, tick);
+  co_return clamp;
+}
+
+std::uint64_t PhaseClock::exact_total() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < m_; ++i) total += mem_->at(base_ + i).value;
+  return total;
+}
+
+}  // namespace apex::clockx

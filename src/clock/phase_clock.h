@@ -1,0 +1,93 @@
+// The Phase Clock (paper §2.1, construction contract from [Aumann-Rabin 94]).
+//
+// Contract required by the execution scheme and the agreement protocol:
+//   * Update-Clock: O(1) atomic steps; processors call it to participate in
+//     advancing the clock.
+//   * Read-Clock: Θ(log n) atomic steps; returns the current integral clock
+//     value (monotone per reader).
+//   * For constants 0 < α1 <= α2: at least α1·n invocations of Update-Clock
+//     are necessary and α2·n are sufficient to advance the clock by one,
+//     regardless of WHICH processors invoke it.
+//
+// Construction (substitution documented in DESIGN.md §2): an array of m = n
+// per-slot counters in shared memory.  Update-Clock increments a uniformly
+// random slot (one read + one write; the read-then-write pair is not atomic,
+// so concurrent increments can occasionally be lost — that loss is a
+// constant factor absorbed into [α1, α2], which bench E8 measures).
+// Read-Clock samples s = Θ(log n) random slots, scales the sampled sum by
+// m/s to estimate the total number of updates U, and returns ⌊U / τ⌋ with
+// τ = α·n, clamped to be monotone per reader.
+//
+// Under the oblivious adversary both the slot choices and the sample choices
+// are uniform and independent of the schedule, so slot counts concentrate
+// around U/m and the estimate concentrates around U — giving the bracketing
+// the contract demands, with high probability.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/memory.h"
+#include "sim/proc.h"
+#include "sim/subtask.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace apex::clockx {
+
+struct ClockConfig {
+  std::size_t nprocs = 0;      ///< n.
+  std::size_t slots = 0;       ///< m; 0 means use n.
+  std::size_t read_samples = 0;///< s; 0 means use 3·lg(n).
+  double alpha = 6.0;          ///< Tick threshold τ = α·n updates.
+};
+
+class PhaseClock {
+ public:
+  /// Carves the counter region out of `mem` via extend().
+  PhaseClock(sim::Memory& mem, ClockConfig cfg);
+
+  // ---- In-model procedures (cost counted in work) -------------------------
+
+  /// Update-Clock: O(1) — read a random slot, write slot+1 (2 steps).
+  sim::SubTask<void> update(sim::Ctx& ctx);
+
+  /// Read-Clock: Θ(log n) — s sampled reads + 1 local estimate step.
+  /// Returns the clock value, monotone per calling processor.
+  sim::SubTask<std::uint64_t> read(sim::Ctx& ctx);
+
+  // ---- Out-of-band inspection (tests/benches; costs no work) --------------
+
+  /// Exact number of update increments currently recorded in the slots.
+  std::uint64_t exact_total() const;
+
+  /// Exact tick implied by exact_total().
+  std::uint64_t exact_tick() const { return exact_total() / tau_; }
+
+  std::uint64_t threshold() const noexcept { return tau_; }
+  std::size_t slots() const noexcept { return m_; }
+  std::size_t samples() const noexcept { return s_; }
+  std::size_t base_addr() const noexcept { return base_; }
+
+  /// True if `addr` lies in the clock's counter region (used by inspectors
+  /// listening to raw step events).
+  bool owns(std::size_t addr) const noexcept {
+    return addr >= base_ && addr < base_ + m_;
+  }
+
+  /// Atomic steps one update() costs (for work-budget arithmetic).
+  static constexpr std::uint64_t kUpdateCost = 2;
+  /// Atomic steps one read() costs.
+  std::uint64_t read_cost() const noexcept { return s_ + 1; }
+
+ private:
+  sim::Memory* mem_;
+  std::size_t base_;
+  std::size_t m_;
+  std::size_t s_;
+  std::uint64_t tau_;
+  std::vector<std::uint64_t> reader_clamp_;  ///< Per-processor monotone clamp.
+};
+
+}  // namespace apex::clockx

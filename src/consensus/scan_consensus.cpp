@@ -1,0 +1,66 @@
+#include "consensus/scan_consensus.h"
+
+namespace apex::consensus {
+
+ScanConsensus::ScanConsensus(ScanConfig cfg, agreement::TaskFn task)
+    : cfg_(cfg), task_(std::move(task)) {
+  apex::SeedTree seeds{cfg.seed};
+  sim_ = std::make_unique<sim::Simulator>(
+      sim::SimConfig{cfg.n, 0, cfg.seed},
+      sim::make_schedule(cfg.schedule, cfg.n, seeds.schedule()));
+  reg_base_ = sim_->memory().extend(cfg.n * cfg.n);
+  decisions_.assign(cfg.n,
+                    std::vector<std::optional<sim::Word>>(cfg.n, std::nullopt));
+  for (std::size_t p = 0; p < cfg.n; ++p)
+    sim_->spawn([this](sim::Ctx& ctx) { return proc(ctx); });
+}
+
+sim::ProcTask ScanConsensus::proc(sim::Ctx& ctx) {
+  const std::size_t n = cfg_.n;
+  // Registers are stamped 1 when written; stamp 0 = empty.
+  for (std::size_t i = 0; i < n; ++i) {
+    // Propose: draw f_i and publish in the single-writer register.
+    const agreement::TaskResult mine =
+        co_await task_(ctx, i, /*phase=*/1);
+    co_await ctx.write(reg_base_ + i * n + ctx.id(), mine.value_or(0), 1);
+
+    // Scan all n registers until every proposal is visible.  This is the
+    // Θ(n)-per-scan read-all loop that dominates classical consensus.
+    sim::Word decided = 0;
+    for (;;) {
+      bool all = true;
+      sim::Word first = 0;
+      bool have_first = false;
+      for (std::size_t p = 0; p < n; ++p) {
+        const sim::Cell c = co_await ctx.read(reg_base_ + i * n + p);
+        if (c.stamp == 0) {
+          all = false;
+        } else if (!have_first) {
+          // Lowest-numbered processor's proposal is the decision rule.
+          first = c.value;
+          have_first = true;
+        }
+      }
+      if (all) {
+        decided = first;
+        break;
+      }
+    }
+    decisions_[ctx.id()][i] = decided;
+  }
+}
+
+ScanConsensus::Result ScanConsensus::run(std::uint64_t max_work) {
+  const auto res = sim_->run(max_work);
+  Result out;
+  out.completed = res.all_finished;
+  out.total_work = sim_->total_work();
+  out.values.assign(cfg_.n, 0);
+  if (out.completed) {
+    for (std::size_t i = 0; i < cfg_.n; ++i)
+      out.values[i] = decisions_[0][i].value_or(0);
+  }
+  return out;
+}
+
+}  // namespace apex::consensus

@@ -1,0 +1,16 @@
+#pragma once
+
+namespace apex {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+/// The paper this library reproduces.
+inline constexpr const char* kPaperCitation =
+    "Aumann, Bender, Zhang: Efficient Execution of Nondeterministic "
+    "Parallel Programs on Asynchronous Systems. SPAA 1996; Information and "
+    "Computation 139(1), 1997.";
+
+}  // namespace apex

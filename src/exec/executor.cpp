@@ -1,0 +1,360 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/math.h"
+
+namespace apex::exec {
+
+const char* scheme_name(Scheme s) noexcept {
+  return s == Scheme::kNondeterministic ? "nondet" : "det";
+}
+
+// ---------------------------------------------------------------------------
+// Impl: memory layout, task procedures, driver, and the subphase monitor.
+// ---------------------------------------------------------------------------
+
+struct Executor::Impl {
+  const pram::Program* prog;
+  Scheme scheme;
+  ExecConfig cfg;
+  sim::Simulator* sim;
+
+  std::unique_ptr<clockx::PhaseClock> clock;
+  std::unique_ptr<agreement::BinArray> bins;  // nondet scheme only
+  std::size_t var_base = 0;
+  std::size_t newval_base = 0;                // det scheme only
+  agreement::AgreementRuntime rt;             // nondet scheme only
+
+  // Diagnostics (single-threaded simulation: plain counters suffice).
+  std::uint64_t stamp_misses = 0;
+
+  std::size_t n() const { return prog->nthreads(); }
+  std::size_t T() const { return prog->nsteps(); }
+
+  /// Address of generation slot for (variable, writer-stamp).
+  std::size_t var_addr(std::uint32_t var, sim::Word stamp) const {
+    return var_base + static_cast<std::size_t>(var) * cfg.generations +
+           static_cast<std::size_t>(stamp % cfg.generations);
+  }
+
+  std::size_t newval_addr(std::size_t i) const { return newval_base + i; }
+
+  // --- In-model task procedures ------------------------------------------
+
+  /// Read one operand variable, accepting only the statically expected
+  /// writer stamp.  Returns nullopt on a stale/missing stamp.
+  sim::SubTask<agreement::TaskResult> read_operand(sim::Ctx& ctx,
+                                                   std::uint32_t var,
+                                                   std::uint32_t writer) {
+    const sim::Word want = pram::stamp_of_writer(writer);
+    const sim::Cell c = co_await ctx.read(var_addr(var, want));
+    if (c.stamp != want) {
+      ++stamp_misses;
+      co_return agreement::TaskResult{};
+    }
+    co_return agreement::TaskResult{c.value};
+  }
+
+  /// Evaluate instruction `i` of step `s` (reads operands, one local step
+  /// to compute / draw).  Costs at most 4 atomic steps.
+  sim::SubTask<agreement::TaskResult> eval_task(sim::Ctx& ctx, std::size_t s,
+                                                std::size_t i) {
+    const pram::Instr& ins = prog->step(s).instrs[i];
+    if (ins.op == pram::OpCode::kNop) {
+      co_await ctx.local();
+      co_return agreement::TaskResult{0};
+    }
+    const auto& w = prog->writers(s, i);
+    const int r = pram::reads_of(ins.op);
+    sim::Word xv = 0, yv = 0, cv = 0;
+    if (r >= 1) {
+      const auto v = co_await read_operand(ctx, ins.x, w.x);
+      if (!v) co_return agreement::TaskResult{};
+      xv = *v;
+    }
+    if (r >= 2) {
+      const auto v = co_await read_operand(ctx, ins.y, w.y);
+      if (!v) co_return agreement::TaskResult{};
+      yv = *v;
+    }
+    if (r >= 3) {
+      const auto v = co_await read_operand(ctx, ins.c, w.c);
+      if (!v) co_return agreement::TaskResult{};
+      cv = *v;
+    }
+    co_await ctx.local();  // the basic computation / random draw
+    switch (ins.op) {
+      case pram::OpCode::kRandBelow:
+        co_return agreement::TaskResult{ins.imm == 0 ? 0
+                                                     : ctx.rng().below(ins.imm)};
+      case pram::OpCode::kCoin:
+        co_return agreement::TaskResult{
+            ctx.rng().uniform() * 4294967296.0 < static_cast<double>(ins.imm)
+                ? 1
+                : 0};
+      default:
+        co_return agreement::TaskResult{
+            pram::eval_deterministic(ins, xv, yv, cv)};
+    }
+  }
+
+  /// Deterministic-scheme Compute: pick a random task, evaluate it, write
+  /// NewVal[i] directly (no agreement — the baseline's fatal flaw for
+  /// nondeterministic f).
+  sim::SubTask<void> det_compute_once(sim::Ctx& ctx, std::size_t s,
+                                      sim::Word stamp) {
+    const std::size_t i = static_cast<std::size_t>(ctx.rng().below(n()));
+    co_await ctx.local();
+    const auto v = co_await eval_task(ctx, s, i);
+    if (v) co_await ctx.write(newval_addr(i), *v, stamp);
+  }
+
+  /// Copy subphase task: pick a random thread, fetch its NewVal (from the
+  /// bins under the nondeterministic scheme, from the NewVal array under
+  /// the baseline), and commit it to z_i's generation slot.
+  sim::SubTask<void> copy_once(sim::Ctx& ctx, std::size_t s, sim::Word stamp) {
+    const std::size_t i = static_cast<std::size_t>(ctx.rng().below(n()));
+    co_await ctx.local();
+    const pram::Instr& ins = prog->step(s).instrs[i];
+    if (!pram::writes_dest(ins.op)) co_return;
+
+    agreement::TaskResult v;
+    if (scheme == Scheme::kNondeterministic) {
+      v = co_await agreement::read_agreed(ctx, *bins, i, stamp);
+    } else {
+      const sim::Cell c = co_await ctx.read(newval_addr(i));
+      if (c.stamp == stamp) v = c.value;
+    }
+    if (v) co_await ctx.write(var_addr(ins.z, stamp), *v, stamp);
+  }
+
+  /// Per-processor driver: interleave clock maintenance with random task
+  /// execution for the current subphase; exit once the clock passes 2T.
+  sim::ProcTask scheme_proc(sim::Ctx& ctx) {
+    const std::uint64_t stride = lg(n());
+    const std::uint64_t end_tick = 2 * static_cast<std::uint64_t>(T());
+    std::uint64_t tick = 0;
+    for (std::uint64_t iter = 0;; ++iter) {
+      // Staggered by id, as in agreement_proc: avoids synchronized
+      // clock-read blocks under lockstep schedules.
+      if ((iter + ctx.id()) % stride == 0) {
+        co_await clock->update(ctx);
+        tick = co_await clock->read(ctx);
+        if (tick >= end_tick) co_return;
+      }
+      if (tick >= end_tick) {
+        co_await ctx.local();
+        continue;
+      }
+      const std::size_t s = static_cast<std::size_t>(tick / 2);
+      const sim::Word stamp = pram::stamp_of_step(static_cast<std::uint32_t>(s));
+      if (tick % 2 == 0) {
+        if (scheme == Scheme::kNondeterministic)
+          co_await agreement::agreement_cycle(ctx, rt, stamp);
+        else
+          co_await det_compute_once(ctx, s, stamp);
+      } else {
+        co_await copy_once(ctx, s, stamp);
+      }
+    }
+  }
+
+  // --- Out-of-band subphase monitor ----------------------------------------
+
+  /// Watches clock writes to detect true tick transitions; at each
+  /// Compute->Copy boundary snapshots the agreed NewVal values, at each
+  /// Copy->Compute boundary verifies the commits landed.
+  struct Monitor final : public sim::StepObserver {
+    Impl* im = nullptr;
+    std::uint64_t clock_total = 0;
+    std::uint64_t tick = 0;
+    std::vector<std::vector<pram::Word>> produced;
+    std::uint64_t incomplete = 0;
+
+    void init(Impl* impl) {
+      im = impl;
+      produced.assign(im->T(), std::vector<pram::Word>(im->n(), 0));
+    }
+
+    void on_step(const sim::StepEvent& ev) override {
+      if (ev.op.kind != sim::Op::Kind::Write) return;
+      if (!im->clock->owns(ev.op.addr)) return;
+      if (ev.after.value > ev.before.value)
+        clock_total += ev.after.value - ev.before.value;
+      const std::uint64_t now = clock_total / im->clock->threshold();
+      while (tick < now && tick < 2 * im->T()) finalize_subphase();
+    }
+
+    /// Finalize subphase `tick` and advance.
+    void finalize_subphase() {
+      const std::size_t s = static_cast<std::size_t>(tick / 2);
+      const sim::Word stamp = pram::stamp_of_step(static_cast<std::uint32_t>(s));
+      if (s < im->T()) {
+        if (tick % 2 == 0)
+          finalize_compute(s, stamp);
+        else
+          finalize_copy(s, stamp);
+      }
+      ++tick;
+    }
+
+    void finalize_compute(std::size_t s, sim::Word stamp) {
+      for (std::size_t i = 0; i < im->n(); ++i) {
+        const pram::Instr& ins = im->prog->step(s).instrs[i];
+        if (ins.op == pram::OpCode::kNop) continue;
+        if (im->scheme == Scheme::kNondeterministic) {
+          const auto v = im->bins->agreed_value(i, stamp);
+          if (v) {
+            produced[s][i] = *v;
+          } else {
+            ++incomplete;
+            // Record whatever a reader would see, for diagnosis.
+            const auto vals = im->bins->upper_half_values(i, stamp);
+            produced[s][i] = vals.empty() ? 0 : vals[0];
+          }
+        } else {
+          const sim::Cell c = im->sim->memory().at(im->newval_addr(i));
+          if (c.stamp == stamp)
+            produced[s][i] = c.value;
+          else
+            ++incomplete;
+        }
+      }
+    }
+
+    void finalize_copy(std::size_t s, sim::Word stamp) {
+      for (std::size_t i = 0; i < im->n(); ++i) {
+        const pram::Instr& ins = im->prog->step(s).instrs[i];
+        if (!pram::writes_dest(ins.op)) continue;
+        const sim::Cell c = im->sim->memory().at(im->var_addr(ins.z, stamp));
+        if (c.stamp != stamp) ++incomplete;
+      }
+    }
+  };
+
+  Monitor monitor;
+};
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+Executor::Executor(const pram::Program& program, Scheme scheme, ExecConfig cfg)
+    : prog_(&program), scheme_(scheme), cfg_(cfg) {
+  if (cfg.generations < 2)
+    throw std::invalid_argument("Executor: generations must be >= 2");
+  const std::size_t n = program.nthreads();
+
+  apex::SeedTree seeds{cfg.seed};
+  sim_ = std::make_unique<sim::Simulator>(
+      sim::SimConfig{n, 0, cfg.seed},
+      sim::make_schedule(cfg.schedule, n, seeds.schedule()));
+
+  impl_ = std::make_unique<Impl>();
+  impl_->prog = prog_;
+  impl_->scheme = scheme_;
+  impl_->cfg = cfg_;
+  impl_->sim = sim_.get();
+
+  clockx::ClockConfig cc;
+  cc.nprocs = n;
+  cc.alpha = cfg.clock_alpha;
+  impl_->clock = std::make_unique<clockx::PhaseClock>(sim_->memory(), cc);
+
+  impl_->var_base =
+      sim_->memory().extend(program.nvars() * cfg.generations);
+
+  if (scheme_ == Scheme::kNondeterministic) {
+    impl_->bins = std::make_unique<agreement::BinArray>(
+        sim_->memory(), n, agreement::BinArray::cells_for(n, cfg.beta));
+    impl_->rt.cfg.n = n;
+    impl_->rt.cfg.beta = cfg.beta;
+    impl_->rt.cfg.compute_steps = 4;  // <= 3 operand reads + 1 local
+    impl_->rt.bins = impl_->bins.get();
+    impl_->rt.clock = impl_->clock.get();
+    Impl* im = impl_.get();
+    impl_->rt.task = [im](sim::Ctx& ctx, std::size_t i, sim::Word phase) {
+      return im->eval_task(ctx, static_cast<std::size_t>(phase - 1), i);
+    };
+  } else {
+    impl_->newval_base = sim_->memory().extend(n);
+  }
+
+  impl_->monitor.init(impl_.get());
+  sim_->set_observer(&impl_->monitor);
+
+  Impl* im = impl_.get();
+  for (std::size_t p = 0; p < n; ++p)
+    sim_->spawn([im](sim::Ctx& ctx) { return im->scheme_proc(ctx); });
+}
+
+Executor::~Executor() = default;
+
+std::uint64_t Executor::default_budget(const pram::Program& p) {
+  const std::size_t n = p.nthreads();
+  agreement::AgreementConfig acfg;
+  acfg.n = n;
+  acfg.compute_steps = 4;
+  // One tick costs ~α·n·lg n cycles of ω steps each, plus clock traffic
+  // (~ one update + one read per lg n cycles).  Budget 4x the expected
+  // 2T-tick run, plus slack for tiny programs.
+  const double per_tick = ExecConfig{}.clock_alpha * static_cast<double>(n) *
+                          lg(n) * static_cast<double>(acfg.omega() + 4);
+  return static_cast<std::uint64_t>(per_tick * 2.0 *
+                                    static_cast<double>(p.nsteps()) * 4.0) +
+         1'000'000;
+}
+
+ExecResult Executor::run(std::uint64_t max_work) {
+  const auto res = sim_->run(max_work);
+  ExecResult out;
+  out.completed = res.all_finished;
+  out.total_work = sim_->total_work();
+  out.stamp_misses = impl_->stamp_misses;
+
+  if (out.completed) {
+    // Finalize any subphases whose boundary the monitor has not yet seen
+    // (processors exit on estimated ticks, which can lead the exact tick).
+    while (impl_->monitor.tick < 2 * impl_->T())
+      impl_->monitor.finalize_subphase();
+  }
+  out.produced = impl_->monitor.produced;
+  out.incomplete_tasks = impl_->monitor.incomplete;
+
+  // Extract final variable values: the freshest generation slot wins.
+  out.memory.assign(prog_->nvars(), 0);
+  for (std::size_t v = 0; v < prog_->nvars(); ++v) {
+    sim::Word best_stamp = 0;
+    sim::Word best_value = 0;
+    for (std::size_t g = 0; g < cfg_.generations; ++g) {
+      const sim::Cell c =
+          sim_->memory().at(impl_->var_base + v * cfg_.generations + g);
+      if (c.stamp >= best_stamp) {
+        best_stamp = c.stamp;
+        best_value = c.value;
+      }
+    }
+    out.memory[v] = best_value;
+  }
+  return out;
+}
+
+CheckedRun run_checked(const pram::Program& p, Scheme scheme, ExecConfig cfg,
+                       std::uint64_t max_work) {
+  Executor ex(p, scheme, cfg);
+  if (max_work == 0) max_work = Executor::default_budget(p);
+  CheckedRun out;
+  out.result = ex.run(max_work);
+  if (!out.result.completed) {
+    out.consistency_error = "execution did not complete within budget";
+    return out;
+  }
+  out.consistency_error = pram::check_execution_consistency(
+      p, std::vector<pram::Word>(p.nvars(), 0), out.result.produced,
+      out.result.memory);
+  return out;
+}
+
+}  // namespace apex::exec

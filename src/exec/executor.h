@@ -1,0 +1,120 @@
+// The execution scheme (paper §2, Fig. 1).
+//
+// An n-thread EREW PRAM program runs on the n-processor asynchronous host
+// as a sequence of PHASES, one per PRAM step.  Each phase has two
+// subphases, driven by the Phase Clock (subphase = clock tick):
+//
+//   Compute (even tick 2s):  the n tasks are "evaluate instruction i of
+//     step s".  In the NONDETERMINISTIC scheme (the paper's contribution)
+//     evaluation happens inside bin-array agreement cycles, so that by the
+//     end of the subphase all processors agree on every NewVal[i] even
+//     though f may be randomized.  In the DETERMINISTIC baseline scheme
+//     (Aumann-Rabin style, §1 related work) each evaluation writes
+//     NewVal[i] directly — correct only for deterministic f.
+//
+//   Copy (odd tick 2s+1):  the n tasks are "copy NewVal[i] into z_i",
+//     stamping the write with the step number.  Copying an agreed value is
+//     idempotent, which is why the split-execution discipline (introduced
+//     in [Kedem-Palem-Spirakis 90]) tolerates every task being executed
+//     many times by many processors.
+//
+// Processors repeatedly pick tasks of the CURRENT subphase uniformly at
+// random and interleave clock updates; the clock's [α1·n, α2·n] bracket is
+// tuned so each subphase sees Θ(n log n) task executions — enough, w.h.p.,
+// to cover all n tasks (and to complete agreement) before the tick advances.
+// This is a with-high-probability guarantee, not a barrier: the monitor
+// records any subphase that ended incomplete (`incomplete_tasks`), which is
+// the scheme's designed failure mode and occurs with probability O(n^-c).
+//
+// Program variables live in G-generation timestamped slots: the write of
+// step s goes to slot (s+1) mod G with stamp s+1, and a reader that
+// statically expects writer step w accepts only stamp w+1 (see
+// DESIGN.md §2 substitution 4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agreement/bin_array.h"
+#include "agreement/protocol.h"
+#include "clock/phase_clock.h"
+#include "pram/interp.h"
+#include "pram/program.h"
+#include "sim/simulator.h"
+
+namespace apex::exec {
+
+enum class Scheme {
+  kNondeterministic,  ///< The paper's scheme: agreement in every Compute.
+  kDeterministic,     ///< Baseline: direct NewVal writes (no agreement).
+};
+
+const char* scheme_name(Scheme s) noexcept;
+
+struct ExecConfig {
+  std::size_t generations = 4;  ///< G generation slots per program variable.
+  std::size_t beta = 8;         ///< Bin sizing (nondeterministic scheme).
+  // Updates per tick = α·n.  Must comfortably exceed β so each Compute
+  // subphase (~α·n·lg n agreement cycles) fills every β·lg n-cell bin with
+  // margin; see TestbedConfig::clock_alpha.
+  double clock_alpha = 24.0;
+  std::uint64_t seed = 1;
+  sim::ScheduleKind schedule = sim::ScheduleKind::kUniformRandom;
+};
+
+struct ExecResult {
+  bool completed = false;        ///< All 2·T subphases elapsed.
+  std::uint64_t total_work = 0;  ///< Work units consumed (paper's measure).
+  std::vector<pram::Word> memory;///< Final value of each program variable.
+  /// Agreed / last-written NewVal per (step, thread), captured at each
+  /// Compute->Copy transition; feeds pram::check_execution_consistency.
+  std::vector<std::vector<pram::Word>> produced;
+  /// Subphase-boundary audits that found unfinished work (missing agreement
+  /// or missing copies).  0 in a clean run.
+  std::uint64_t incomplete_tasks = 0;
+  /// Compute-task operand reads that found a stale/missing stamp and
+  /// retried.  Nonzero is normal under hostile schedules; it measures
+  /// wasted attempts, not corruption.
+  std::uint64_t stamp_misses = 0;
+};
+
+class Executor {
+ public:
+  Executor(const pram::Program& program, Scheme scheme, ExecConfig cfg);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Execute the program to completion (or until max_work).
+  ExecResult run(std::uint64_t max_work);
+
+  /// Suggested work budget for a program: generous multiple of the paper's
+  /// bound T · n · lg n · lglg n.
+  static std::uint64_t default_budget(const pram::Program& p);
+
+  const pram::Program& program() const noexcept { return *prog_; }
+  sim::Simulator& simulator() noexcept { return *sim_; }
+
+ private:
+  struct Impl;
+  const pram::Program* prog_;
+  Scheme scheme_;
+  ExecConfig cfg_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience: build, run, and consistency-check a program under the given
+/// scheme.  Returns the ExecResult plus the consistency-oracle verdict
+/// (empty string = consistent with some valid synchronous execution).
+struct CheckedRun {
+  ExecResult result;
+  std::string consistency_error;
+};
+CheckedRun run_checked(const pram::Program& p, Scheme scheme, ExecConfig cfg,
+                       std::uint64_t max_work = 0);
+
+}  // namespace apex::exec

@@ -1,0 +1,166 @@
+#include "host/host_agreement.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace apex::host {
+
+HostAgreement::HostAgreement(HostConfig cfg, HostTaskFn task)
+    : cfg_(cfg),
+      task_(std::move(task)),
+      n_(cfg.nthreads),
+      b_(std::max<std::size_t>(4, cfg.beta * lg(cfg.nthreads))),
+      clock_base_(0),
+      bins_base_(cfg.nthreads),  // clock occupies [0, n)
+      clock_tau_(std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(cfg.clock_alpha *
+                                        static_cast<double>(cfg.nthreads)))),
+      clock_samples_(3 * lg(cfg.nthreads)),
+      mem_(cfg.nthreads + cfg.nthreads * b_),
+      work_per_thread_(cfg.nthreads, 0),
+      cycles_per_thread_(cfg.nthreads, 0) {}
+
+bool HostAgreement::bin_filled(std::size_t bin, std::size_t cell,
+                               std::uint32_t phase) const {
+  return mem_.read(bin_addr(bin, cell)).stamp == phase;
+}
+
+std::vector<std::uint64_t> HostAgreement::upper_half_values(
+    std::size_t bin, std::uint32_t phase) const {
+  std::vector<std::uint64_t> vals;
+  for (std::size_t j = b_ / 2; j < b_; ++j) {
+    const HostCell c = mem_.read(bin_addr(bin, j));
+    if (c.stamp != phase) continue;
+    if (std::find(vals.begin(), vals.end(), c.value) == vals.end())
+      vals.push_back(c.value);
+  }
+  return vals;
+}
+
+void HostAgreement::worker(std::size_t id) {
+  apex::SeedTree seeds{cfg_.seed};
+  apex::Rng rng = seeds.processor(id);
+  std::uint64_t& work = work_per_thread_[id];
+  std::uint64_t& cycles = cycles_per_thread_[id];
+  const std::uint64_t stride = lg(n_);
+  std::uint32_t phase = 1;
+  std::uint64_t reader_clamp = 0;
+
+  for (std::uint64_t iter = 0; !stop_.load(std::memory_order_relaxed);
+       ++iter) {
+    if ((iter + id) % stride == 0) {
+      // Update-Clock: O(1).
+      const std::size_t r = static_cast<std::size_t>(rng.below(n_));
+      const HostCell c = mem_.read(clock_base_ + r);
+      mem_.write(clock_base_ + r, c.value + 1, 0);
+      work += 2;
+      // Read-Clock: Θ(log n).
+      std::uint64_t sampled = 0;
+      for (std::size_t k = 0; k < clock_samples_; ++k) {
+        const std::size_t s = static_cast<std::size_t>(rng.below(n_));
+        sampled += mem_.read(clock_base_ + s).value;
+      }
+      work += clock_samples_ + 1;
+      const double est = static_cast<double>(sampled) *
+                         (static_cast<double>(n_) /
+                          static_cast<double>(clock_samples_));
+      reader_clamp = std::max(
+          reader_clamp, static_cast<std::uint64_t>(est) / clock_tau_);
+      phase = static_cast<std::uint32_t>(reader_clamp) + 1;
+    }
+
+    // One agreement cycle (Fig. 2).
+    const std::size_t i = static_cast<std::size_t>(rng.below(n_));
+    work += 1;
+    // Binary search for first empty cell.
+    std::ptrdiff_t lo = -1, hi = static_cast<std::ptrdiff_t>(b_);
+    while (hi - lo > 1) {
+      const std::ptrdiff_t mid = lo + (hi - lo) / 2;
+      const HostCell c = mem_.read(bin_addr(i, static_cast<std::size_t>(mid)));
+      work += 1;
+      if (c.stamp == phase)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    const std::size_t j = static_cast<std::size_t>(hi);
+    if (j == 0) {
+      const std::uint64_t v = task_(i, rng);
+      work += 1;
+      mem_.write(bin_addr(i, 0), v, phase);
+      work += 1;
+    } else if (j < b_) {
+      const HostCell prev = mem_.read(bin_addr(i, j - 1));
+      work += 1;
+      if (prev.stamp == phase) {
+        mem_.write(bin_addr(i, j), prev.value, phase);
+        work += 1;
+      }
+    }
+    ++cycles;
+  }
+}
+
+std::uint32_t HostAgreement::current_phase() const {
+  std::uint64_t total = 0;
+  for (std::size_t r = 0; r < n_; ++r)
+    total += mem_.read(clock_base_ + r).value;
+  return static_cast<std::uint32_t>(total / clock_tau_) + 1;
+}
+
+HostAgreement::Result HostAgreement::run(double timeout_seconds) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(n_);
+  for (std::size_t id = 0; id < n_; ++id)
+    threads.emplace_back([this, id] { worker(id); });
+
+  // Check the scannable Theorem 1 properties for phase `ph`; on success
+  // capture the agreed values into `vals`.  A scan torn by a phase rollover
+  // simply fails and is retried against the new phase.
+  auto satisfied_at = [&](std::uint32_t ph, std::vector<std::uint64_t>& vals) {
+    vals.assign(n_, 0);
+    for (std::size_t i = 0; i < n_; ++i) {
+      std::size_t filled = 0;
+      for (std::size_t j = b_ / 2; j < b_; ++j) filled += bin_filled(i, j, ph);
+      if (2 * filled < (b_ - b_ / 2)) return false;
+      const auto uh = upper_half_values(i, ph);
+      if (uh.size() != 1) return false;
+      vals[i] = uh[0];
+    }
+    // The phase must still be live: a finished phase's cells may already be
+    // partially overwritten by its successor mid-capture.
+    return current_phase() == ph;
+  };
+
+  Result out;
+  std::vector<std::uint64_t> vals;
+  for (;;) {
+    const std::uint32_t ph = current_phase();
+    if (satisfied_at(ph, vals)) {
+      out.satisfied = true;
+      out.phase = ph;
+      out.values = vals;
+      break;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (elapsed > timeout_seconds) break;
+    std::this_thread::yield();
+  }
+
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (auto w : work_per_thread_) out.total_work += w;
+  for (auto c : cycles_per_thread_) out.cycles += c;
+  if (!out.satisfied) out.values.assign(n_, 0);
+  return out;
+}
+
+}  // namespace apex::host

@@ -1,0 +1,233 @@
+#include "host/host_executor.h"
+
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "pram/ir.h"
+
+namespace apex::host {
+
+HostExecutor::HostExecutor(const pram::Program& program, HostExecConfig cfg)
+    : prog_(&program),
+      cfg_(cfg),
+      n_(program.nthreads()),
+      b_(std::max<std::size_t>(4, cfg.beta * lg(program.nthreads()))),
+      clock_base_(0),
+      bins_base_(n_),
+      var_base_(n_ + n_ * b_),
+      clock_tau_(std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(cfg.clock_alpha *
+                                        static_cast<double>(n_)))),
+      clock_samples_(3 * lg(n_)),
+      mem_(n_ + n_ * b_ + program.nvars() * cfg.generations),
+      work_per_thread_(n_, 0),
+      miss_per_thread_(n_, 0),
+      done_(new std::atomic<std::uint8_t>[n_]) {
+  for (std::size_t i = 0; i < n_; ++i)
+    done_[i].store(0, std::memory_order_relaxed);
+  if (cfg.generations < 2)
+    throw std::invalid_argument("HostExecutor: generations must be >= 2");
+}
+
+void HostExecutor::worker(std::size_t id) {
+  apex::SeedTree seeds{cfg_.seed};
+  apex::Rng rng = seeds.processor(id);
+  std::uint64_t& work = work_per_thread_[id];
+  std::uint64_t& misses = miss_per_thread_[id];
+  const std::uint64_t stride = lg(n_);
+  const std::uint64_t end_tick = 2 * static_cast<std::uint64_t>(prog_->nsteps());
+  std::uint64_t tick = 0;
+  std::uint64_t reader_clamp = 0;
+
+  // Read one operand for (step s, expected writer w); stamped slot must
+  // hold exactly the expected stamp, otherwise the value is stale/missing.
+  auto read_operand = [&](std::uint32_t var,
+                          std::uint32_t writer) -> std::optional<std::uint64_t> {
+    const std::uint32_t want =
+        static_cast<std::uint32_t>(pram::stamp_of_writer(writer));
+    const HostCell c = mem_.read(var_addr(var, want));
+    work += 1;
+    if (c.stamp != want) {
+      ++misses;
+      return std::nullopt;
+    }
+    return c.value;
+  };
+
+  // Evaluate instruction i of step s; nullopt if an operand is not ready.
+  auto eval = [&](std::size_t s,
+                  std::size_t i) -> std::optional<std::uint64_t> {
+    const pram::Instr& ins = prog_->step(s).instrs[i];
+    if (ins.op == pram::OpCode::kNop) {
+      work += 1;
+      return 0;
+    }
+    const auto& w = prog_->writers(s, i);
+    const int r = pram::reads_of(ins.op);
+    std::uint64_t xv = 0, yv = 0, cv = 0;
+    if (r >= 1) {
+      const auto v = read_operand(ins.x, w.x);
+      if (!v) return std::nullopt;
+      xv = *v;
+    }
+    if (r >= 2) {
+      const auto v = read_operand(ins.y, w.y);
+      if (!v) return std::nullopt;
+      yv = *v;
+    }
+    if (r >= 3) {
+      const auto v = read_operand(ins.c, w.c);
+      if (!v) return std::nullopt;
+      cv = *v;
+    }
+    work += 1;  // the basic computation / random draw
+    switch (ins.op) {
+      case pram::OpCode::kRandBelow:
+        return ins.imm == 0 ? 0 : rng.below(ins.imm);
+      case pram::OpCode::kCoin:
+        return rng.uniform() * 4294967296.0 < static_cast<double>(ins.imm)
+                   ? 1
+                   : 0;
+      default:
+        return pram::eval_deterministic(ins, xv, yv, cv);
+    }
+  };
+
+  for (std::uint64_t iter = 0; !abort_.load(std::memory_order_relaxed);
+       ++iter) {
+    if ((iter + id) % stride == 0) {
+      // Update-Clock then Read-Clock (sampled estimate, monotone clamp).
+      const std::size_t slot = static_cast<std::size_t>(rng.below(n_));
+      const HostCell c = mem_.read(clock_base_ + slot);
+      mem_.write(clock_base_ + slot, c.value + 1, 0);
+      work += 2;
+      std::uint64_t sampled = 0;
+      for (std::size_t k = 0; k < clock_samples_; ++k)
+        sampled += mem_.read(clock_base_ + rng.below(n_)).value;
+      work += clock_samples_ + 1;
+      const double est = static_cast<double>(sampled) *
+                         (static_cast<double>(n_) /
+                          static_cast<double>(clock_samples_));
+      reader_clamp = std::max(
+          reader_clamp, static_cast<std::uint64_t>(est) / clock_tau_);
+      tick = reader_clamp;
+      if (tick >= end_tick) break;
+    }
+    if (tick >= end_tick) break;
+
+    const std::size_t s = static_cast<std::size_t>(tick / 2);
+    const std::uint32_t stamp = static_cast<std::uint32_t>(
+        pram::stamp_of_step(static_cast<std::uint32_t>(s)));
+    const std::size_t i = static_cast<std::size_t>(rng.below(n_));
+    work += 1;  // the random task choice
+
+    if (tick % 2 == 0) {
+      // Compute subphase: one bin-array agreement cycle (Fig. 2).
+      std::ptrdiff_t lo = -1, hi = static_cast<std::ptrdiff_t>(b_);
+      while (hi - lo > 1) {
+        const std::ptrdiff_t mid = lo + (hi - lo) / 2;
+        const HostCell c =
+            mem_.read(bin_addr(i, static_cast<std::size_t>(mid)));
+        work += 1;
+        if (c.stamp == stamp)
+          lo = mid;
+        else
+          hi = mid;
+      }
+      const std::size_t j = static_cast<std::size_t>(hi);
+      if (j == 0) {
+        const auto v = eval(s, i);
+        if (v) {
+          mem_.write(bin_addr(i, 0), *v, stamp);
+          work += 1;
+        }
+      } else if (j < b_) {
+        const HostCell prev = mem_.read(bin_addr(i, j - 1));
+        work += 1;
+        if (prev.stamp == stamp) {
+          mem_.write(bin_addr(i, j), prev.value, stamp);
+          work += 1;
+        }
+      }
+    } else {
+      // Copy subphase: fetch the agreed NewVal[i] from the bin's upper
+      // half and commit it to z_i's generation slot.
+      const pram::Instr& ins = prog_->step(s).instrs[i];
+      if (!pram::writes_dest(ins.op)) continue;
+      std::optional<std::uint64_t> v;
+      for (std::size_t j = b_ / 2; j < b_; ++j) {
+        const HostCell c = mem_.read(bin_addr(i, j));
+        work += 1;
+        if (c.stamp == stamp) {
+          v = c.value;
+          break;
+        }
+      }
+      if (v) {
+        mem_.write(var_addr(ins.z, stamp), *v, stamp);
+        work += 1;
+      }
+    }
+  }
+  done_[id].store(abort_.load(std::memory_order_relaxed) ? 0 : 1,
+                  std::memory_order_seq_cst);
+}
+
+HostExecResult HostExecutor::run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(n_);
+  for (std::size_t id = 0; id < n_; ++id)
+    threads.emplace_back([this, id] { worker(id); });
+
+  // Watchdog: abort stragglers past the deadline (never triggers on a
+  // healthy run — the phase clock terminates every thread).
+  std::thread watchdog([&] {
+    for (;;) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      bool all = true;
+      for (std::size_t id = 0; id < n_; ++id)
+        all &= (done_[id].load(std::memory_order_seq_cst) != 0);
+      if (all) return;
+      if (elapsed > cfg_.timeout_seconds) {
+        abort_.store(true, std::memory_order_relaxed);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (auto& t : threads) t.join();
+  watchdog.join();
+
+  HostExecResult out;
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out.completed = true;
+  for (std::size_t id = 0; id < n_; ++id) {
+    out.completed &= (done_[id].load(std::memory_order_seq_cst) != 0);
+    out.total_work += work_per_thread_[id];
+    out.stamp_misses += miss_per_thread_[id];
+  }
+
+  // Freshest generation slot wins.
+  out.memory.assign(prog_->nvars(), 0);
+  for (std::size_t v = 0; v < prog_->nvars(); ++v) {
+    std::uint32_t best_stamp = 0;
+    std::uint64_t best_value = 0;
+    for (std::size_t g = 0; g < cfg_.generations; ++g) {
+      const HostCell c = mem_.read(var_base_ + v * cfg_.generations + g);
+      if (c.stamp >= best_stamp) {
+        best_stamp = c.stamp;
+        best_value = c.value;
+      }
+    }
+    out.memory[v] = best_value;
+  }
+  return out;
+}
+
+}  // namespace apex::host

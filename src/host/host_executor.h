@@ -1,0 +1,91 @@
+// The full execution scheme (paper §2, Fig. 1) on real std::threads.
+//
+// Mirrors src/exec/Executor on the host substrate: each logical processor
+// is an OS thread, shared memory is HostMemory (value+stamp packed into one
+// atomic 64-bit word), asynchrony comes from the OS scheduler instead of a
+// simulated adversary.  Phases are PRAM steps; each phase has a Compute
+// subphase (bin-array agreement cycles evaluating the step's instructions)
+// and a Copy subphase (committing agreed NewVal values into the program
+// variables' generation slots), both delimited by the sampled-counter
+// phase clock.
+//
+// What this validates: the w.h.p. guarantees of the scheme carry from the
+// oblivious-adversary model to genuine preemption — OS scheduling decides
+// timing without seeing the protocol's random choices, which is exactly
+// the oblivious adversary's power.
+//
+// Limits vs the simulator executor: program values must fit in 40 bits
+// (host Pack width), and there is no produced-trace monitor — tests verify
+// invariants on the final memory (deterministic kernels against the
+// synchronous reference; nondeterministic kernels against their
+// self-declared invariants).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "host/host_memory.h"
+#include "pram/program.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace apex::host {
+
+struct HostExecConfig {
+  std::size_t generations = 4;  ///< G generation slots per program variable.
+  std::size_t beta = 8;         ///< Bin sizing.
+  double clock_alpha = 4096.0;  ///< Updates per tick (see HostConfig note).
+  std::uint64_t seed = 1;
+  double timeout_seconds = 60.0;
+};
+
+struct HostExecResult {
+  bool completed = false;        ///< Every thread saw the final tick.
+  std::uint64_t total_work = 0;  ///< Atomic steps summed over threads.
+  double wall_seconds = 0.0;
+  std::vector<std::uint64_t> memory;  ///< Final value of each variable.
+  std::uint64_t stamp_misses = 0;     ///< Operand reads that found a stale
+                                      ///< stamp and retried (normal).
+};
+
+class HostExecutor {
+ public:
+  HostExecutor(const pram::Program& program, HostExecConfig cfg);
+
+  /// Launch one thread per program thread, run the full phase sequence,
+  /// join, and extract the final memory.
+  HostExecResult run();
+
+ private:
+  void worker(std::size_t id);
+
+  // Memory layout helpers (clock slots | bins | variable generations).
+  std::size_t bin_addr(std::size_t bin, std::size_t cell) const {
+    return bins_base_ + bin * b_ + cell;
+  }
+  std::size_t var_addr(std::uint32_t var, std::uint32_t stamp) const {
+    return var_base_ + static_cast<std::size_t>(var) * cfg_.generations +
+           stamp % cfg_.generations;
+  }
+
+  const pram::Program* prog_;
+  HostExecConfig cfg_;
+  std::size_t n_;           ///< Threads = program threads = bins.
+  std::size_t b_;           ///< Cells per bin.
+  std::size_t clock_base_;
+  std::size_t bins_base_;
+  std::size_t var_base_;
+  std::uint64_t clock_tau_;
+  std::size_t clock_samples_;
+  HostMemory mem_;
+
+  std::atomic<bool> abort_{false};
+  std::vector<std::uint64_t> work_per_thread_;
+  std::vector<std::uint64_t> miss_per_thread_;
+  /// Per-thread clean-completion flags (watchdog reads them live).
+  std::unique_ptr<std::atomic<std::uint8_t>[]> done_;
+};
+
+}  // namespace apex::host

@@ -1,0 +1,69 @@
+// Real-thread host substrate: timestamped words on std::atomic.
+//
+// The A-PRAM model postulates that a word and its timestamp are read or
+// written together in ONE atomic operation (paper §1).  On real hardware we
+// realize that by packing both into a single 64-bit word: 40 bits of value,
+// 24 bits of stamp (the paper needs only O(log n) stamp bits).  All
+// accesses are plain loads/stores — no compare-and-swap anywhere, matching
+// the model's "no compound read-write atomicity".
+//
+// Memory order: every access uses seq_cst.  The protocols tolerate ANY
+// interleaving (that is the point of the paper), so relaxed orders would
+// also be correct for the protocol state itself; seq_cst keeps the
+// out-of-band checkers simple and this port is about fidelity, not
+// throughput.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace apex::host {
+
+struct HostCell {
+  std::uint64_t value = 0;
+  std::uint32_t stamp = 0;
+};
+
+struct Pack {
+  static constexpr int kStampBits = 24;
+  static constexpr std::uint64_t kStampMask = (1ULL << kStampBits) - 1;
+  static constexpr std::uint64_t kValueLimit = 1ULL << (64 - kStampBits);
+
+  static std::uint64_t pack(std::uint64_t value, std::uint32_t stamp) {
+    if (value >= kValueLimit)
+      throw std::out_of_range("host::Pack: value exceeds 40 bits");
+    return (value << kStampBits) | (stamp & kStampMask);
+  }
+  static std::uint64_t value_of(std::uint64_t w) { return w >> kStampBits; }
+  static std::uint32_t stamp_of(std::uint64_t w) {
+    return static_cast<std::uint32_t>(w & kStampMask);
+  }
+};
+
+class HostMemory {
+ public:
+  explicit HostMemory(std::size_t words) : cells_(words) {
+    for (auto& c : cells_) c.store(0, std::memory_order_relaxed);
+  }
+
+  std::size_t size() const noexcept { return cells_.size(); }
+
+  HostCell read(std::size_t addr) const {
+    const std::uint64_t w = cells_.at(addr).load(std::memory_order_seq_cst);
+    return HostCell{Pack::value_of(w), Pack::stamp_of(w)};
+  }
+
+  void write(std::size_t addr, std::uint64_t value, std::uint32_t stamp) {
+    cells_.at(addr).store(Pack::pack(value, stamp), std::memory_order_seq_cst);
+  }
+
+ private:
+  // deque-like stability not needed; atomics are not movable, so the vector
+  // is sized once in the constructor and never resized.
+  std::vector<std::atomic<std::uint64_t>> cells_;
+};
+
+}  // namespace apex::host

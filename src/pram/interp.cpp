@@ -1,0 +1,95 @@
+#include "pram/interp.h"
+
+#include <stdexcept>
+
+namespace apex::pram {
+
+namespace {
+
+Word eval_with_rng(const Instr& ins, const std::vector<Word>& mem,
+                   apex::Rng& rng) {
+  switch (ins.op) {
+    case OpCode::kRandBelow:
+      return ins.imm == 0 ? 0 : rng.below(ins.imm);
+    case OpCode::kCoin:
+      return rng.uniform() * 4294967296.0 < static_cast<double>(ins.imm) ? 1
+                                                                         : 0;
+    default:
+      return eval_deterministic(ins, mem[ins.x], mem[ins.y], mem[ins.c]);
+  }
+}
+
+}  // namespace
+
+InterpResult Interpreter::run(std::vector<Word> initial, apex::Rng rng) const {
+  const Program& p = *prog_;
+  initial.resize(p.nvars(), 0);
+  InterpResult out;
+  out.memory = std::move(initial);
+  out.produced.assign(p.nsteps(), std::vector<Word>(p.nthreads(), 0));
+
+  for (std::size_t s = 0; s < p.nsteps(); ++s) {
+    const Step& st = p.step(s);
+    // Compute phase: all reads see the pre-step image.
+    for (std::size_t t = 0; t < p.nthreads(); ++t) {
+      const Instr& ins = st.instrs[t];
+      if (ins.op == OpCode::kNop) continue;
+      out.produced[s][t] = eval_with_rng(ins, out.memory, rng);
+    }
+    // Copy phase: commit all writes simultaneously (EREW guarantees no
+    // write-write conflicts).
+    for (std::size_t t = 0; t < p.nthreads(); ++t) {
+      const Instr& ins = st.instrs[t];
+      if (!writes_dest(ins.op)) continue;
+      out.memory[ins.z] = out.produced[s][t];
+    }
+  }
+  return out;
+}
+
+InterpResult Interpreter::run_deterministic(std::vector<Word> initial) const {
+  if (prog_->is_nondeterministic())
+    throw std::logic_error(
+        "Interpreter::run_deterministic on a nondeterministic program");
+  return run(std::move(initial), apex::Rng(0));
+}
+
+std::string check_execution_consistency(
+    const Program& p, const std::vector<Word>& initial,
+    const std::vector<std::vector<Word>>& produced,
+    const std::vector<Word>& final_memory) {
+  if (produced.size() != p.nsteps()) return "produced trace has wrong length";
+  std::vector<Word> mem = initial;
+  mem.resize(p.nvars(), 0);
+
+  for (std::size_t s = 0; s < p.nsteps(); ++s) {
+    if (produced[s].size() != p.nthreads())
+      return "produced[" + std::to_string(s) + "] has wrong width";
+    const Step& st = p.step(s);
+    for (std::size_t t = 0; t < p.nthreads(); ++t) {
+      const Instr& ins = st.instrs[t];
+      if (ins.op == OpCode::kNop) continue;
+      const Word got = produced[s][t];
+      if (!in_support(ins, got, mem[ins.x], mem[ins.y], mem[ins.c]))
+        return "step " + std::to_string(s) + " thread " + std::to_string(t) +
+               ": value " + std::to_string(got) + " not a valid result of " +
+               ins.to_string();
+    }
+    for (std::size_t t = 0; t < p.nthreads(); ++t) {
+      const Instr& ins = st.instrs[t];
+      if (!writes_dest(ins.op)) continue;
+      mem[ins.z] = produced[s][t];
+    }
+  }
+
+  if (final_memory.size() != mem.size()) return "final memory size mismatch";
+  for (std::size_t v = 0; v < mem.size(); ++v) {
+    if (mem[v] != final_memory[v])
+      return "final memory mismatch at v" + std::to_string(v) + ": replay " +
+             std::to_string(mem[v]) + " vs executed " +
+             std::to_string(final_memory[v]);
+  }
+  return {};
+}
+
+}  // namespace apex::pram

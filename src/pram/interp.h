@@ -1,0 +1,51 @@
+// Synchronous reference interpreter.
+//
+// Executes a PRAM program exactly as the idealized machine would: all
+// instructions of a step read their operands from the pre-step memory image
+// and commit their writes simultaneously.  Used as ground truth:
+//   * deterministic programs: the asynchronous executor's result must match
+//     the interpreter's bit-for-bit;
+//   * nondeterministic programs: the interpreter samples one valid
+//     execution (given an Rng), and exposes a trace so tests can check that
+//     the executor's outcome is consistent with SOME valid execution.
+#pragma once
+
+#include <vector>
+
+#include "pram/program.h"
+#include "util/rng.h"
+
+namespace apex::pram {
+
+struct InterpResult {
+  std::vector<Word> memory;  ///< Final variable values.
+  /// Value produced by thread t at step s (0 for kNop); the "NewVal trace".
+  std::vector<std::vector<Word>> produced;  ///< [step][thread]
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(const Program& p) : prog_(&p) {}
+
+  /// Run the whole program from `initial` memory (resized to nvars, zero
+  /// filled).  Nondeterministic ops draw from `rng`.
+  InterpResult run(std::vector<Word> initial, apex::Rng rng) const;
+
+  /// Deterministic convenience: requires !prog.is_nondeterministic().
+  InterpResult run_deterministic(std::vector<Word> initial) const;
+
+ private:
+  const Program* prog_;
+};
+
+/// Consistency oracle for nondeterministic programs: given the final memory
+/// of an execution and the per-step agreed values ("produced" trace),
+/// replays the program treating nondeterministic results as given, and
+/// verifies every deterministic op and the final memory match.  Returns an
+/// empty string on success, else a human-readable violation description.
+std::string check_execution_consistency(
+    const Program& p, const std::vector<Word>& initial,
+    const std::vector<std::vector<Word>>& produced,
+    const std::vector<Word>& final_memory);
+
+}  // namespace apex::pram

@@ -1,0 +1,125 @@
+// The EREW PRAM program model (paper §2.1).
+//
+// A program is a sequence of STEPS; at step π every thread T_i performs one
+// instruction z ← f(x, y) on shared variables, all threads synchronously.
+// f comes from a fixed set of basic operations; the set here includes two
+// NONDETERMINISTIC operations (kRandBelow, kCoin) whose results are drawn
+// from the executing processor's private random stream — these are what
+// break the classical deterministic execution schemes and motivate the
+// paper.
+//
+// Operand addressing is static (variable indices are fixed per
+// instruction), which is what lets the execution scheme precompute, for
+// every read, the step that last wrote the operand (the "writer table") and
+// thus distinguish current values from tardy clobbers by timestamp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/word.h"
+
+namespace apex::pram {
+
+using Word = sim::Word;
+
+enum class OpCode : std::uint8_t {
+  kNop,        ///< No operation (thread idle this step).
+  kConst,      ///< z = imm
+  kCopy,       ///< z = x
+  kAdd,        ///< z = x + y
+  kSub,        ///< z = x - y   (wrapping)
+  kMul,        ///< z = x * y   (wrapping)
+  kMin,        ///< z = min(x, y)
+  kMax,        ///< z = max(x, y)
+  kXor,        ///< z = x ^ y
+  kAnd,        ///< z = x & y
+  kOr,         ///< z = x | y
+  kLess,       ///< z = (x < y) ? 1 : 0
+  kEq,         ///< z = (x == y) ? 1 : 0
+  kSelect,     ///< z = (c != 0) ? x : y       (three-operand conditional)
+  kRandBelow,  ///< z = uniform random in [0, imm)        [nondeterministic]
+  kCoin,       ///< z = 1 w.p. imm/2^32, else 0           [nondeterministic]
+};
+
+const char* opcode_name(OpCode op) noexcept;
+
+/// True for operations whose result depends on the executing processor's
+/// random stream.
+bool is_nondeterministic(OpCode op) noexcept;
+
+/// Number of variable operands read by the op (0, 1, 2, or 3 for kSelect).
+int reads_of(OpCode op) noexcept;
+
+/// True if the op writes its destination (everything but kNop).
+bool writes_dest(OpCode op) noexcept;
+
+struct Instr {
+  OpCode op = OpCode::kNop;
+  std::uint32_t z = 0;  ///< Destination variable.
+  std::uint32_t x = 0;  ///< First operand (if reads_of >= 1).
+  std::uint32_t y = 0;  ///< Second operand (if reads_of >= 2).
+  std::uint32_t c = 0;  ///< Condition operand (kSelect only).
+  Word imm = 0;         ///< Immediate (kConst, kRandBelow, kCoin).
+
+  // Convenience constructors.
+  static Instr nop() { return {}; }
+  static Instr constant(std::uint32_t z, Word imm) {
+    return {OpCode::kConst, z, 0, 0, 0, imm};
+  }
+  static Instr copy(std::uint32_t z, std::uint32_t x) {
+    return {OpCode::kCopy, z, x, 0, 0, 0};
+  }
+  static Instr add(std::uint32_t z, std::uint32_t x, std::uint32_t y) {
+    return {OpCode::kAdd, z, x, y, 0, 0};
+  }
+  static Instr sub(std::uint32_t z, std::uint32_t x, std::uint32_t y) {
+    return {OpCode::kSub, z, x, y, 0, 0};
+  }
+  static Instr mul(std::uint32_t z, std::uint32_t x, std::uint32_t y) {
+    return {OpCode::kMul, z, x, y, 0, 0};
+  }
+  static Instr min(std::uint32_t z, std::uint32_t x, std::uint32_t y) {
+    return {OpCode::kMin, z, x, y, 0, 0};
+  }
+  static Instr max(std::uint32_t z, std::uint32_t x, std::uint32_t y) {
+    return {OpCode::kMax, z, x, y, 0, 0};
+  }
+  static Instr xor_(std::uint32_t z, std::uint32_t x, std::uint32_t y) {
+    return {OpCode::kXor, z, x, y, 0, 0};
+  }
+  static Instr and_(std::uint32_t z, std::uint32_t x, std::uint32_t y) {
+    return {OpCode::kAnd, z, x, y, 0, 0};
+  }
+  static Instr or_(std::uint32_t z, std::uint32_t x, std::uint32_t y) {
+    return {OpCode::kOr, z, x, y, 0, 0};
+  }
+  static Instr less(std::uint32_t z, std::uint32_t x, std::uint32_t y) {
+    return {OpCode::kLess, z, x, y, 0, 0};
+  }
+  static Instr eq(std::uint32_t z, std::uint32_t x, std::uint32_t y) {
+    return {OpCode::kEq, z, x, y, 0, 0};
+  }
+  static Instr select(std::uint32_t z, std::uint32_t c, std::uint32_t x,
+                      std::uint32_t y) {
+    return {OpCode::kSelect, z, x, y, c, 0};
+  }
+  static Instr rand_below(std::uint32_t z, Word bound) {
+    return {OpCode::kRandBelow, z, 0, 0, 0, bound};
+  }
+  /// Coin with success probability p (quantized to 32-bit fixed point).
+  static Instr coin(std::uint32_t z, double p);
+
+  std::string to_string() const;
+};
+
+/// Pure evaluation of a deterministic op on operand values.
+/// Precondition: !is_nondeterministic(op).
+Word eval_deterministic(const Instr& ins, Word x, Word y, Word c) noexcept;
+
+/// True iff `v` is a possible result of the (possibly nondeterministic)
+/// instruction — the support used by Theorem 1's Correctness property.
+/// For deterministic ops the caller supplies the operand values.
+bool in_support(const Instr& ins, Word v, Word x, Word y, Word c) noexcept;
+
+}  // namespace apex::pram

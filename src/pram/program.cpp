@@ -1,0 +1,121 @@
+#include "pram/program.h"
+
+#include <sstream>
+
+namespace apex::pram {
+
+namespace {
+
+void bump_or_throw(std::vector<std::uint8_t>& uses, std::uint32_t var,
+                   std::size_t nvars, std::size_t step, const char* what) {
+  if (var >= nvars)
+    throw std::invalid_argument("PRAM step " + std::to_string(step) + ": " +
+                                what + " variable v" + std::to_string(var) +
+                                " out of range (nvars=" +
+                                std::to_string(nvars) + ")");
+  if (uses[var]++)
+    throw std::invalid_argument("PRAM step " + std::to_string(step) +
+                                ": EREW violation, variable v" +
+                                std::to_string(var) + " " + what +
+                                " by more than one thread");
+}
+
+}  // namespace
+
+void Program::validate_erew(std::size_t nthreads, std::size_t nvars,
+                            const std::vector<Step>& steps) {
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    const Step& st = steps[s];
+    if (st.instrs.size() != nthreads)
+      throw std::invalid_argument("PRAM step " + std::to_string(s) +
+                                  ": instruction count != nthreads");
+    std::vector<std::uint8_t> reads(nvars, 0), writes(nvars, 0);
+    for (const Instr& ins : st.instrs) {
+      const int r = reads_of(ins.op);
+      if (r >= 1) bump_or_throw(reads, ins.x, nvars, s, "read");
+      if (r >= 2) bump_or_throw(reads, ins.y, nvars, s, "read");
+      if (r >= 3) bump_or_throw(reads, ins.c, nvars, s, "read");
+      if (writes_dest(ins.op)) bump_or_throw(writes, ins.z, nvars, s, "written");
+    }
+    // Reading and writing the same variable within one step is legal: the
+    // split Compute/Copy execution (paper §2.1, Fig. 1) orders every read of
+    // a step before every write of that step, so x <- f(x, y) and
+    // simultaneous-swap patterns are well-defined.
+  }
+}
+
+Program::Program(std::size_t nthreads, std::size_t nvars,
+                 std::vector<Step> steps)
+    : nthreads_(nthreads), nvars_(nvars), steps_(std::move(steps)) {
+  if (nthreads_ == 0) throw std::invalid_argument("Program: nthreads == 0");
+  if (nvars_ == 0) throw std::invalid_argument("Program: nvars == 0");
+  validate_erew(nthreads_, nvars_, steps_);
+  for (const auto& st : steps_)
+    for (const auto& ins : st.instrs)
+      nondet_ |= pram::is_nondeterministic(ins.op);
+  build_writer_tables();
+}
+
+void Program::build_writer_tables() {
+  std::vector<std::uint32_t> last(nvars_, kInitial);
+  writers_.resize(steps_.size());
+  last_writer_.resize(steps_.size());
+  for (std::size_t s = 0; s < steps_.size(); ++s) {
+    last_writer_[s] = last;  // snapshot BEFORE step s's writes
+    writers_[s].resize(nthreads_);
+    const Step& st = steps_[s];
+    for (std::size_t t = 0; t < nthreads_; ++t) {
+      const Instr& ins = st.instrs[t];
+      OperandWriters w;
+      const int r = reads_of(ins.op);
+      if (r >= 1) w.x = last[ins.x];
+      if (r >= 2) w.y = last[ins.y];
+      if (r >= 3) w.c = last[ins.c];
+      writers_[s][t] = w;
+    }
+    for (std::size_t t = 0; t < nthreads_; ++t) {
+      const Instr& ins = st.instrs[t];
+      if (writes_dest(ins.op)) last[ins.z] = static_cast<std::uint32_t>(s);
+    }
+  }
+}
+
+std::uint32_t Program::last_writer_before(std::size_t s,
+                                          std::uint32_t var) const {
+  return last_writer_.at(s).at(var);
+}
+
+std::string Program::to_string() const {
+  std::ostringstream os;
+  os << "PRAM program: " << nthreads_ << " threads, " << nvars_ << " vars, "
+     << steps_.size() << " steps\n";
+  for (std::size_t s = 0; s < steps_.size(); ++s) {
+    os << " step " << s << ":\n";
+    for (std::size_t t = 0; t < nthreads_; ++t) {
+      const Instr& ins = steps_[s].instrs[t];
+      if (ins.op == OpCode::kNop) continue;
+      os << "   T" << t << ": " << ins.to_string() << '\n';
+    }
+  }
+  return os.str();
+}
+
+ProgramBuilder::StepBuilder& ProgramBuilder::StepBuilder::thread(std::size_t t,
+                                                                 Instr ins) {
+  if (t >= parent_->nthreads_)
+    throw std::invalid_argument("ProgramBuilder: thread index out of range");
+  parent_->steps_.at(index_).instrs.at(t) = ins;
+  return *this;
+}
+
+ProgramBuilder::StepBuilder ProgramBuilder::step() {
+  steps_.emplace_back();
+  steps_.back().instrs.assign(nthreads_, Instr::nop());
+  return StepBuilder(*this, steps_.size() - 1);
+}
+
+Program ProgramBuilder::build() {
+  return Program(nthreads_, nvars_, std::move(steps_));
+}
+
+}  // namespace apex::pram

@@ -1,0 +1,335 @@
+#include "pram/workloads.h"
+
+#include <stdexcept>
+
+#include "util/math.h"
+
+namespace apex::pram {
+
+namespace {
+std::uint32_t u32(std::size_t v) { return static_cast<std::uint32_t>(v); }
+
+void require_pow2(std::size_t n, const char* who) {
+  if (!is_pow2(n) || n < 2)
+    throw std::invalid_argument(std::string(who) +
+                                ": n must be a power of two >= 2");
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Reduction: vars layout [in: 0..n) [bufA: n..2n) [bufB: 2n..3n) [tmp: 3n..4n)
+// Round d halves the active size; buffers alternate so no step reads and
+// writes the same variable.
+// ---------------------------------------------------------------------------
+
+std::uint32_t reduction_result_var(std::size_t n) {
+  // Round 1 writes bufA (base n), round 2 writes bufB (base 2n), and the
+  // buffers alternate; the result is cell 0 of the last round's buffer.
+  const std::uint32_t rounds = lg(n);
+  return (rounds % 2 == 1) ? u32(n) : u32(2 * n);
+}
+
+Program make_reduction(std::size_t n) {
+  require_pow2(n, "make_reduction");
+  const std::size_t in = 0, bufA = n, bufB = 2 * n, tmp = 3 * n;
+  ProgramBuilder b(n, 4 * n);
+
+  // Round 1 reads `in`, writes bufA[0..n/2).
+  std::size_t active = n;
+  std::size_t src = in;
+  std::size_t dst = bufA;
+  while (active > 1) {
+    const std::size_t half = active / 2;
+    {
+      auto s = b.step();
+      for (std::size_t i = 0; i < half; ++i)
+        s.thread(i, Instr::copy(u32(tmp + i), u32(src + 2 * i + 1)));
+    }
+    {
+      auto s = b.step();
+      for (std::size_t i = 0; i < half; ++i)
+        s.thread(i, Instr::add(u32(dst + i), u32(src + 2 * i), u32(tmp + i)));
+    }
+    src = dst;
+    dst = (dst == bufA) ? bufB : bufA;
+    active = half;
+  }
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// Luby round on the n-cycle.
+// Layout: r[0..n) cl[n..2n) cr[2n..3n) a[3n..4n) bq[4n..5n) mis[5n..6n)
+//         nl[6n..7n) viol[7n..8n)
+// ---------------------------------------------------------------------------
+
+std::uint32_t luby_priority_var(std::size_t n, std::size_t i) {
+  (void)n;
+  return u32(i);
+}
+std::uint32_t luby_mis_var(std::size_t n, std::size_t i) { return u32(5 * n + i); }
+std::uint32_t luby_violation_var(std::size_t n, std::size_t i) {
+  return u32(7 * n + i);
+}
+
+Program make_luby_cycle_round(std::size_t n, Word k) {
+  if (n < 3)
+    throw std::invalid_argument("make_luby_cycle_round: need n >= 3");
+  const std::size_t r = 0, cl = n, cr = 2 * n, a = 3 * n, bq = 4 * n,
+                    mis = 5 * n, nl = 6 * n, viol = 7 * n;
+  ProgramBuilder b(n, 8 * n);
+
+  b.step().all([&](std::size_t i) { return Instr::rand_below(u32(r + i), k); });
+  // Stage left/right neighbour priorities (each r[j] read exactly once per
+  // step).
+  b.step().all([&](std::size_t i) {
+    return Instr::copy(u32(cl + i), u32(r + (i + n - 1) % n));
+  });
+  b.step().all([&](std::size_t i) {
+    return Instr::copy(u32(cr + i), u32(r + (i + 1) % n));
+  });
+  // Strict local maximum test.
+  b.step().all([&](std::size_t i) {
+    return Instr::less(u32(a + i), u32(cl + i), u32(r + i));
+  });
+  b.step().all([&](std::size_t i) {
+    return Instr::less(u32(bq + i), u32(cr + i), u32(r + i));
+  });
+  b.step().all([&](std::size_t i) {
+    return Instr::and_(u32(mis + i), u32(a + i), u32(bq + i));
+  });
+  // Independence check: viol[i] = mis[i] AND mis[i-1] must be 0.
+  b.step().all([&](std::size_t i) {
+    return Instr::copy(u32(nl + i), u32(mis + (i + n - 1) % n));
+  });
+  b.step().all([&](std::size_t i) {
+    return Instr::and_(u32(viol + i), u32(mis + i), u32(nl + i));
+  });
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// Leader election.
+// Layout: r[0..n) mA[n..2n) mB[2n..3n) tmp[3n..4n) bc[4n..5n) lead[5n..6n)
+// ---------------------------------------------------------------------------
+
+std::uint32_t leader_ticket_var(std::size_t n, std::size_t i) {
+  (void)n;
+  return u32(i);
+}
+std::uint32_t leader_flag_var(std::size_t n, std::size_t i) {
+  return u32(5 * n + i);
+}
+std::uint32_t leader_max_var(std::size_t n, std::size_t i) {
+  return u32(4 * n + i);
+}
+
+Program make_leader_election(std::size_t n, Word k) {
+  require_pow2(n, "make_leader_election");
+  const std::size_t r = 0, mA = n, mB = 2 * n, tmp = 3 * n, bc = 4 * n,
+                    lead = 5 * n;
+  ProgramBuilder b(n, 6 * n);
+
+  b.step().all([&](std::size_t i) { return Instr::rand_below(u32(r + i), k); });
+
+  // Max tournament: round 0 reads r, later rounds alternate mA/mB.
+  std::size_t active = n;
+  std::size_t src = r;
+  std::size_t dst = mA;
+  while (active > 1) {
+    const std::size_t half = active / 2;
+    {
+      auto s = b.step();
+      for (std::size_t i = 0; i < half; ++i)
+        s.thread(i, Instr::copy(u32(tmp + i), u32(src + 2 * i + 1)));
+    }
+    {
+      auto s = b.step();
+      for (std::size_t i = 0; i < half; ++i)
+        s.thread(i, Instr::max(u32(dst + i), u32(src + 2 * i), u32(tmp + i)));
+    }
+    src = dst;
+    dst = (dst == mA) ? mB : mA;
+    active = half;
+  }
+
+  // Broadcast the winner into bc[0..n) by doubling.
+  b.step().thread(0, Instr::copy(u32(bc + 0), u32(src + 0)));
+  for (std::size_t width = 1; width < n; width *= 2) {
+    auto s = b.step();
+    for (std::size_t i = 0; i < width && width + i < n; ++i)
+      s.thread(i, Instr::copy(u32(bc + width + i), u32(bc + i)));
+  }
+
+  // leader[i] = (r[i] == bc[i]).
+  b.step().all([&](std::size_t i) {
+    return Instr::eq(u32(lead + i), u32(r + i), u32(bc + i));
+  });
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// Consistency probe.
+// Layout: R=0, chain c[1..chain], flags f[chain+1 .. chain+chain)
+// flag f_j = (c_j == c_{j+1}) for j = 1..chain-1, plus f_0 = (c_1 == c_chain)
+// computed last.
+// ---------------------------------------------------------------------------
+
+std::size_t probe_flag_count(std::size_t chain) { return chain; }
+
+std::uint32_t probe_flag_var(std::size_t n, std::size_t chain, std::size_t j) {
+  (void)n;
+  return u32(1 + chain + j);
+}
+
+Program make_consistency_probe(std::size_t n, std::size_t chain, Word k) {
+  if (n < 2) throw std::invalid_argument("make_consistency_probe: n >= 2");
+  if (chain < 1) throw std::invalid_argument("make_consistency_probe: chain >= 1");
+  const std::size_t kR = 0;
+  auto c_var = [&](std::size_t j) { return u32(1 + (j - 1)); };  // c_1..c_chain
+  ProgramBuilder b(n, 1 + chain + probe_flag_count(chain));
+
+  b.step().thread(0, Instr::rand_below(u32(kR), k));
+  b.step().thread(0, Instr::copy(c_var(1), u32(kR)));
+  for (std::size_t j = 2; j <= chain; ++j)
+    b.step().thread((j - 1) % n, Instr::copy(c_var(j), c_var(j - 1)));
+  // Flags: f_j = eq(c_j, c_{j+1}); one comparison per step keeps EREW.
+  for (std::size_t j = 1; j < chain; ++j)
+    b.step().thread(j % n,
+                    Instr::eq(probe_flag_var(n, chain, j), c_var(j), c_var(j + 1)));
+  // Closing flag: the chain end must equal the chain start.
+  b.step().thread(1, Instr::eq(probe_flag_var(n, chain, 0), c_var(1),
+                               c_var(chain)));
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// Coin matrix.
+// ---------------------------------------------------------------------------
+
+std::uint32_t coin_matrix_var(std::size_t n, std::size_t s, std::size_t i) {
+  return u32(s * n + i);
+}
+
+Program make_coin_matrix(std::size_t n, std::size_t t, double p) {
+  if (n == 0 || t == 0)
+    throw std::invalid_argument("make_coin_matrix: n, t >= 1");
+  ProgramBuilder b(n, n * t);
+  for (std::size_t s = 0; s < t; ++s) {
+    b.step().all([&](std::size_t i) {
+      return Instr::coin(coin_matrix_var(n, s, i), p);
+    });
+  }
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// Prefix sum (Hillis-Steele doubling).
+// Layout: a[0..n) stage[n..2n).
+// Round d (offset = 2^d): stage[i] = a[i - offset] (thread i copies its own
+// staged operand, so a[j] is read only by thread j + offset), then
+// a[i] = a[i] + stage[i] for i >= offset.  Reading and writing a[i] in one
+// step is legal under split execution.
+// ---------------------------------------------------------------------------
+
+std::uint32_t prefix_sum_var(std::size_t n, std::size_t i) {
+  (void)n;
+  return u32(i);
+}
+
+Program make_prefix_sum(std::size_t n) {
+  require_pow2(n, "make_prefix_sum");
+  const std::size_t a = 0, stage = n;
+  ProgramBuilder b(n, 2 * n);
+  for (std::size_t offset = 1; offset < n; offset *= 2) {
+    {
+      auto s = b.step();
+      for (std::size_t i = offset; i < n; ++i)
+        s.thread(i, Instr::copy(u32(stage + i), u32(a + i - offset)));
+    }
+    {
+      auto s = b.step();
+      for (std::size_t i = offset; i < n; ++i)
+        s.thread(i, Instr::add(u32(a + i), u32(a + i), u32(stage + i)));
+    }
+  }
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// Odd-even transposition sort.
+// Layout: a[0..n) lo[n..3n/2...] — staging lo/hi indexed by pair.
+// Round r compares pairs (first, first+1) with first = 2p + (r odd), via
+// one thread per pair computing min then max into staging vars, then the
+// pair's two threads copying them back.
+// ---------------------------------------------------------------------------
+
+std::uint32_t sort_var(std::size_t n, std::size_t i) {
+  (void)n;
+  return u32(i);
+}
+
+Program make_odd_even_sort(std::size_t n) {
+  if (n < 2 || n % 2 != 0)
+    throw std::invalid_argument("make_odd_even_sort: n must be even and >= 2");
+  const std::size_t a = 0, lo = n, hi = n + n / 2;
+  ProgramBuilder b(n, 2 * n);
+  for (std::size_t round = 0; round < n; ++round) {
+    const std::size_t start = round % 2;  // even rounds pair (0,1),(2,3),...
+    std::vector<std::size_t> firsts;
+    for (std::size_t f = start; f + 1 < n; f += 2) firsts.push_back(f);
+    if (firsts.empty()) continue;
+    {
+      auto s = b.step();
+      for (std::size_t p = 0; p < firsts.size(); ++p)
+        s.thread(p, Instr::min(u32(lo + p), u32(a + firsts[p]),
+                               u32(a + firsts[p] + 1)));
+    }
+    {
+      auto s = b.step();
+      for (std::size_t p = 0; p < firsts.size(); ++p)
+        s.thread(p, Instr::max(u32(hi + p), u32(a + firsts[p]),
+                               u32(a + firsts[p] + 1)));
+    }
+    {
+      auto s = b.step();
+      for (std::size_t p = 0; p < firsts.size(); ++p) {
+        s.thread(firsts[p], Instr::copy(u32(a + firsts[p]), u32(lo + p)));
+        s.thread(firsts[p] + 1, Instr::copy(u32(a + firsts[p] + 1), u32(hi + p)));
+      }
+    }
+  }
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// Randomized ring coloring.
+// Layout: col[0..n) right[n..2n) conf[2n..3n).
+// ---------------------------------------------------------------------------
+
+std::uint32_t ring_color_var(std::size_t n, std::size_t i) {
+  (void)n;
+  return u32(i);
+}
+std::uint32_t ring_conflict_var(std::size_t n, std::size_t i) {
+  return u32(2 * n + i);
+}
+
+Program make_ring_coloring(std::size_t n, Word palette) {
+  if (n < 3) throw std::invalid_argument("make_ring_coloring: need n >= 3");
+  if (palette < 2)
+    throw std::invalid_argument("make_ring_coloring: palette >= 2");
+  const std::size_t col = 0, right = n, conf = 2 * n;
+  ProgramBuilder b(n, 3 * n);
+  b.step().all(
+      [&](std::size_t i) { return Instr::rand_below(u32(col + i), palette); });
+  b.step().all([&](std::size_t i) {
+    return Instr::copy(u32(right + i), u32(col + (i + 1) % n));
+  });
+  b.step().all([&](std::size_t i) {
+    return Instr::eq(u32(conf + i), u32(col + i), u32(right + i));
+  });
+  return b.build();
+}
+
+}  // namespace apex::pram

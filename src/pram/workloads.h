@@ -1,0 +1,89 @@
+// Canonical PRAM programs.
+//
+// These are the workloads the paper's introduction motivates: randomized
+// parallel algorithms (symmetry breaking / MIS, leader election) that are
+// NONDETERMINISTIC and therefore cannot be run by the older deterministic
+// execution schemes, plus deterministic kernels (reduction) used to check
+// the executor against the synchronous reference interpreter, plus a
+// consistency probe designed to expose the deterministic scheme's failure
+// mode on nondeterministic programs (bench E13).
+//
+// All programs obey the EREW discipline (validated at build()) and use only
+// static operand addressing.
+#pragma once
+
+#include <cstdint>
+
+#include "pram/program.h"
+
+namespace apex::pram {
+
+/// Deterministic tournament sum of the initial values of vars [0, n).
+/// n must be a power of two.  Result in var `reduction_result_var(n)`.
+/// Uses 2·log2(n) steps and 3n+... scratch vars.
+Program make_reduction(std::size_t n);
+std::uint32_t reduction_result_var(std::size_t n);
+
+/// One round of Luby-style maximal-independent-set symmetry breaking on the
+/// n-cycle graph: every node draws a random priority in [0, k) and joins
+/// the candidate set iff it is a strict local maximum.  Nondeterministic.
+/// Invariant (any valid execution): no two adjacent nodes both join — var
+/// `luby_violation_var(n, i)` must be 0 for every i.
+Program make_luby_cycle_round(std::size_t n, Word k);
+std::uint32_t luby_mis_var(std::size_t n, std::size_t i);
+std::uint32_t luby_violation_var(std::size_t n, std::size_t i);
+std::uint32_t luby_priority_var(std::size_t n, std::size_t i);
+
+/// Randomized leader election: every thread draws a ticket in [0, k), a
+/// max-tournament finds the winning ticket, a doubling broadcast spreads
+/// it, and every thread sets leader[i] = (ticket_i == max).  n must be a
+/// power of two.  Nondeterministic.
+/// Invariants: at least one leader; every leader holds the maximum ticket.
+Program make_leader_election(std::size_t n, Word k);
+std::uint32_t leader_flag_var(std::size_t n, std::size_t i);
+std::uint32_t leader_ticket_var(std::size_t n, std::size_t i);
+std::uint32_t leader_max_var(std::size_t n, std::size_t i);
+
+/// Consistency probe (bench E13): thread 0 draws R once; a copy chain of
+/// length `chain` relays it through distinct threads/steps; equality flags
+/// compare consecutive chain links.  In ANY valid execution every flag is 1;
+/// the deterministic baseline scheme run on this nondeterministic program
+/// violates the flags under tardy schedules.
+/// Requires n >= 2 and chain >= 1.
+Program make_consistency_probe(std::size_t n, std::size_t chain, Word k);
+std::uint32_t probe_flag_var(std::size_t n, std::size_t chain, std::size_t j);
+std::size_t probe_flag_count(std::size_t chain);
+
+/// T steps of independent biased coins: thread i at step s writes
+/// coin_matrix_var(n, s, i).  Used for scheme-level distribution checks
+/// (Claim 8 at the executor level).
+Program make_coin_matrix(std::size_t n, std::size_t t, double p);
+std::uint32_t coin_matrix_var(std::size_t n, std::size_t s, std::size_t i);
+
+/// Deterministic inclusive prefix sum (Hillis-Steele doubling) of the
+/// initial values of vars [0, n).  n must be a power of two.  Each round
+/// stages the shifted operand through a scratch array so every variable is
+/// read by exactly one thread per step (EREW).  lg n rounds of 2 steps.
+/// Result: prefix_sum_var(n, i) = sum of inputs [0..i].
+Program make_prefix_sum(std::size_t n);
+std::uint32_t prefix_sum_var(std::size_t n, std::size_t i);
+
+/// Deterministic odd-even transposition sort of the initial values of vars
+/// [0, n); n rounds of compare-exchange on alternating pair sets, each
+/// implemented as min/max into staging vars then copies back (EREW).
+/// Requires n >= 2 and even.  Result: sorted ascending in
+/// sort_var(n, 0) .. sort_var(n, n-1).
+Program make_odd_even_sort(std::size_t n);
+std::uint32_t sort_var(std::size_t n, std::size_t i);
+
+/// One round of randomized ring coloring: every node of the n-cycle draws a
+/// color in [0, palette); conflict flags compare each node with its right
+/// neighbour.  Nondeterministic.  Invariant (any valid execution):
+/// ring_conflict_var(n, i) == (color_i == color_{i+1}) for the SAME agreed
+/// draws — i.e. flags are consistent with the color array, which only an
+/// agreement-based scheme guarantees.
+Program make_ring_coloring(std::size_t n, Word palette);
+std::uint32_t ring_color_var(std::size_t n, std::size_t i);
+std::uint32_t ring_conflict_var(std::size_t n, std::size_t i);
+
+}  // namespace apex::pram

@@ -1,0 +1,158 @@
+// Virtual processors as C++20 coroutines.
+//
+// A processor's protocol code is an ordinary coroutine taking a `Ctx&`.
+// Every `co_await ctx.read(...)`, `co_await ctx.write(...)` or
+// `co_await ctx.local()` is exactly ONE atomic step of the A-PRAM model:
+// the simulator grants steps one at a time according to the adversary
+// schedule, executes the requested operation against shared memory, and
+// resumes the coroutine.  Plain C++ computation between `co_await`s costs
+// nothing — the model only charges atomic steps, and protocol code charges
+// local computation explicitly with `ctx.local()` where the paper counts it
+// (e.g. padding agreement cycles to a fixed length ω).
+//
+// Protocols compose with SubTask<T> (see subtask.h): sub-procedures are
+// coroutines awaited from the parent; a step awaiter anywhere in the stack
+// suspends the whole stack by recording the deepest handle in the Ctx.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <utility>
+
+#include "sim/word.h"
+#include "util/rng.h"
+
+namespace apex::sim {
+
+class Simulator;
+
+/// The single pending atomic operation of a suspended processor.
+struct Op {
+  enum class Kind : std::uint8_t { None, Read, Write, Local };
+  Kind kind = Kind::None;
+  std::size_t addr = 0;
+  Word value = 0;  ///< Write: value to store.
+  Word stamp = 0;  ///< Write: stamp to store.
+};
+
+/// Coroutine handle type for a top-level processor program.
+class ProcTask {
+ public:
+  struct promise_type {
+    std::exception_ptr exception;
+
+    ProcTask get_return_object() {
+      return ProcTask(Handle::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  ProcTask() = default;
+  explicit ProcTask(Handle h) : handle_(h) {}
+  ProcTask(ProcTask&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  ProcTask& operator=(ProcTask&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, {});
+    }
+    return *this;
+  }
+  ProcTask(const ProcTask&) = delete;
+  ProcTask& operator=(const ProcTask&) = delete;
+  ~ProcTask() { destroy(); }
+
+  Handle handle() const noexcept { return handle_; }
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+  bool done() const noexcept { return !handle_ || handle_.done(); }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_{};
+};
+
+/// Per-processor execution context handed to protocol coroutines.
+///
+/// Lifetime: owned by the Simulator, stable address for the duration of the
+/// coroutine.  Also holds the processor's suspended-step state: the pending
+/// atomic op, its result, and the deepest coroutine to resume next grant.
+class Ctx {
+ public:
+  Ctx(Simulator& sim, std::size_t id, apex::Rng rng)
+      : sim_(&sim), id_(id), rng_(rng) {}
+
+  Ctx(const Ctx&) = delete;
+  Ctx& operator=(const Ctx&) = delete;
+
+  /// Awaitable for one atomic step.  Yields the Cell the operation observed
+  /// (reads) or stored (writes); Local yields {}.
+  struct StepAwaiter {
+    Ctx* ctx;
+    Op op;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) noexcept {
+      ctx->pending_ = op;
+      ctx->resume_point_ = h;
+    }
+    Cell await_resume() const noexcept { return ctx->result_; }
+  };
+
+  /// One atomic read of cell `addr` (value + stamp together).
+  StepAwaiter read(std::size_t addr) noexcept {
+    return StepAwaiter{this, Op{Op::Kind::Read, addr, 0, 0}};
+  }
+
+  /// One atomic write of (value, stamp) to cell `addr`.
+  StepAwaiter write(std::size_t addr, Word value, Word stamp = 0) noexcept {
+    return StepAwaiter{this, Op{Op::Kind::Write, addr, value, stamp}};
+  }
+
+  /// One local computation step (basic op on registers, random draw, no-op).
+  StepAwaiter local() noexcept {
+    return StepAwaiter{this, Op{Op::Kind::Local, 0, 0, 0}};
+  }
+
+  /// Identity of this virtual processor, in [0, nprocs).
+  std::size_t id() const noexcept { return id_; }
+
+  /// This processor's private random stream (the adversary cannot see it).
+  apex::Rng& rng() noexcept { return rng_; }
+
+  /// Number of virtual processors in the simulation.
+  std::size_t nprocs() const noexcept;
+
+  /// Atomic steps this processor has been granted so far.
+  std::uint64_t steps() const noexcept;
+
+  /// Ask the simulator to stop at the end of the current grant
+  /// (cooperative: used by driver processors that detect completion).
+  void request_stop() const noexcept;
+
+  Simulator& simulator() const noexcept { return *sim_; }
+
+ private:
+  friend class Simulator;
+
+  Simulator* sim_;
+  std::size_t id_;
+  apex::Rng rng_;
+
+  // Suspended-step state, managed by StepAwaiter and the Simulator.
+  Op pending_{};
+  Cell result_{};
+  std::coroutine_handle<> resume_point_{};
+};
+
+}  // namespace apex::sim

@@ -1,0 +1,132 @@
+#include "sim/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apex::sim {
+
+RateSchedule::RateSchedule(std::vector<double> rates, apex::Rng rng)
+    : Schedule(rates.size()), rng_(rng) {
+  double total = 0.0;
+  cumulative_.reserve(rates.size());
+  for (double r : rates) {
+    if (r <= 0.0) throw std::invalid_argument("RateSchedule: rate <= 0");
+    total += r;
+    cumulative_.push_back(total);
+  }
+  for (auto& c : cumulative_) c /= total;
+  cumulative_.back() = 1.0;  // guard against rounding
+}
+
+std::unique_ptr<RateSchedule> RateSchedule::power_law(std::size_t nprocs,
+                                                      double alpha,
+                                                      apex::Rng rng) {
+  std::vector<double> rates(nprocs);
+  for (std::size_t i = 0; i < nprocs; ++i)
+    rates[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+  return std::make_unique<RateSchedule>(std::move(rates), rng);
+}
+
+std::size_t RateSchedule::next(std::uint64_t) {
+  const double u = rng_.uniform();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+SleeperSchedule::SleeperSchedule(std::size_t nprocs,
+                                 std::vector<std::size_t> sleepers,
+                                 std::uint64_t period, std::uint64_t burst,
+                                 apex::Rng rng)
+    : Schedule(nprocs),
+      is_sleeper_(nprocs, false),
+      sleepers_(std::move(sleepers)),
+      period_(period),
+      burst_(burst),
+      rng_(rng) {
+  if (period == 0 || burst == 0 || burst > period)
+    throw std::invalid_argument("SleeperSchedule: need 0 < burst <= period");
+  for (auto s : sleepers_) {
+    if (s >= nprocs)
+      throw std::invalid_argument("SleeperSchedule: sleeper out of range");
+    is_sleeper_[s] = true;
+  }
+  for (std::size_t i = 0; i < nprocs; ++i)
+    if (!is_sleeper_[i]) non_sleepers_.push_back(i);
+  if (non_sleepers_.empty())
+    throw std::invalid_argument("SleeperSchedule: all procs sleep");
+}
+
+std::size_t SleeperSchedule::next(std::uint64_t t) {
+  const bool sleepers_awake = (t % period_) < burst_ && t >= period_;
+  if (sleepers_awake && !sleepers_.empty()) {
+    // During a burst, grant sleepers priority: uniformly among them, so the
+    // whole burst is stale-work pressure.
+    return sleepers_[rng_.below(sleepers_.size())];
+  }
+  return non_sleepers_[rng_.below(non_sleepers_.size())];
+}
+
+CrashSchedule::CrashSchedule(std::size_t nprocs,
+                             std::vector<std::uint64_t> crash_times,
+                             apex::Rng rng)
+    : Schedule(nprocs), crash_times_(std::move(crash_times)), rng_(rng) {
+  if (crash_times_.size() != nprocs)
+    throw std::invalid_argument("CrashSchedule: crash_times size mismatch");
+  bool survivor = false;
+  for (auto ct : crash_times_) survivor |= (ct == ~0ULL);
+  if (!survivor)
+    throw std::invalid_argument("CrashSchedule: need >= 1 survivor "
+                                "(crash time UINT64_MAX)");
+}
+
+std::size_t CrashSchedule::next(std::uint64_t t) {
+  // Rejection-sample among processors still alive at time t.  The alive set
+  // only shrinks with t and always contains a survivor, so this terminates.
+  for (;;) {
+    const auto p = static_cast<std::size_t>(rng_.below(nprocs_));
+    if (t < crash_times_[p]) return p;
+  }
+}
+
+const char* schedule_kind_name(ScheduleKind k) noexcept {
+  switch (k) {
+    case ScheduleKind::kRoundRobin: return "round_robin";
+    case ScheduleKind::kUniformRandom: return "uniform";
+    case ScheduleKind::kPowerLaw: return "power_law";
+    case ScheduleKind::kSleeper: return "sleeper";
+    case ScheduleKind::kBurst: return "burst";
+  }
+  return "?";
+}
+
+std::unique_ptr<Schedule> make_schedule(ScheduleKind kind, std::size_t nprocs,
+                                        apex::Rng rng) {
+  switch (kind) {
+    case ScheduleKind::kRoundRobin:
+      return std::make_unique<RoundRobinSchedule>(nprocs);
+    case ScheduleKind::kUniformRandom:
+      return std::make_unique<UniformRandomSchedule>(nprocs, rng);
+    case ScheduleKind::kPowerLaw:
+      return RateSchedule::power_law(nprocs, 1.2, rng);
+    case ScheduleKind::kSleeper: {
+      std::vector<std::size_t> sleepers;
+      for (std::size_t i = 0; i < std::max<std::size_t>(1, nprocs / 8); ++i)
+        sleepers.push_back(i);
+      const std::uint64_t period = 64 * static_cast<std::uint64_t>(nprocs);
+      const std::uint64_t burst = 4 * static_cast<std::uint64_t>(nprocs);
+      return std::make_unique<SleeperSchedule>(nprocs, std::move(sleepers),
+                                               period, burst, rng);
+    }
+    case ScheduleKind::kBurst:
+      return std::make_unique<BurstSchedule>(nprocs, 0.95, rng);
+  }
+  throw std::invalid_argument("make_schedule: unknown kind");
+}
+
+std::vector<ScheduleKind> all_schedule_kinds() {
+  return {ScheduleKind::kRoundRobin, ScheduleKind::kUniformRandom,
+          ScheduleKind::kPowerLaw, ScheduleKind::kSleeper,
+          ScheduleKind::kBurst};
+}
+
+}  // namespace apex::sim

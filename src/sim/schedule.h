@@ -1,0 +1,214 @@
+// Adversary schedulers for the A-PRAM.
+//
+// The model (§1) associates with each processor a schedule function S_i
+// mapping its k-th operation to an actual time; equivalently, the adversary
+// produces a global interleaving: which processor performs the step at each
+// global time t.  The A-PRAM convention is an OBLIVIOUS adversary: the whole
+// interleaving is fixed in advance, independent of the processors' dynamic
+// random choices.  We enforce that structurally: oblivious schedules depend
+// only on (t, their own private RNG stream) and have no access to the
+// simulator.  Adaptive schedules (for stress tests only) are a separate
+// subclass that may inspect simulator state and declare themselves
+// non-oblivious.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace apex::sim {
+
+class Schedule {
+ public:
+  explicit Schedule(std::size_t nprocs) : nprocs_(nprocs) {
+    if (nprocs == 0) throw std::invalid_argument("Schedule: nprocs == 0");
+  }
+  virtual ~Schedule() = default;
+
+  /// Processor granted the atomic step at global time t.
+  /// Called with strictly increasing t by the simulator.
+  virtual std::size_t next(std::uint64_t t) = 0;
+
+  virtual bool is_oblivious() const noexcept { return true; }
+
+  std::size_t nprocs() const noexcept { return nprocs_; }
+
+ protected:
+  std::size_t nprocs_;
+};
+
+/// Fully synchronous round-robin: proc t mod n.  The "friendliest" schedule;
+/// useful as a baseline and in deterministic unit tests.
+class RoundRobinSchedule final : public Schedule {
+ public:
+  using Schedule::Schedule;
+  std::size_t next(std::uint64_t t) override {
+    return static_cast<std::size_t>(t % nprocs_);
+  }
+};
+
+/// Uniformly random processor each step (classic A-PRAM random schedule).
+class UniformRandomSchedule final : public Schedule {
+ public:
+  UniformRandomSchedule(std::size_t nprocs, apex::Rng rng)
+      : Schedule(nprocs), rng_(rng) {}
+  std::size_t next(std::uint64_t) override {
+    return static_cast<std::size_t>(rng_.below(nprocs_));
+  }
+
+ private:
+  apex::Rng rng_;
+};
+
+/// Heterogeneous speeds: processor i is granted steps proportionally to a
+/// fixed rate r_i.  Models the paper's motivating scenario of a multitasking
+/// system where a loaded processor gets far less CPU than a light one.
+class RateSchedule final : public Schedule {
+ public:
+  RateSchedule(std::vector<double> rates, apex::Rng rng);
+
+  /// Convenience: power-law rates r_i = 1 / (i+1)^alpha.
+  static std::unique_ptr<RateSchedule> power_law(std::size_t nprocs,
+                                                 double alpha, apex::Rng rng);
+
+  std::size_t next(std::uint64_t) override;
+
+ private:
+  std::vector<double> cumulative_;
+  apex::Rng rng_;
+};
+
+/// Sleeper adversary: a designated subset of processors is granted steps
+/// only during periodic bursts; between bursts they are "asleep".  When a
+/// sleeper wakes it still holds its stale view of the phase, so its first
+/// writes land with old timestamps — the clobbers of Lemma 1.
+class SleeperSchedule final : public Schedule {
+ public:
+  /// `sleepers`: ids of sleeping processors.  They are awake during
+  /// [k*period, k*period + burst) for every k >= 1, asleep otherwise.
+  /// Awake processors are chosen uniformly from the eligible set.
+  SleeperSchedule(std::size_t nprocs, std::vector<std::size_t> sleepers,
+                  std::uint64_t period, std::uint64_t burst, apex::Rng rng);
+
+  std::size_t next(std::uint64_t t) override;
+
+ private:
+  std::vector<bool> is_sleeper_;
+  std::vector<std::size_t> non_sleepers_;
+  std::vector<std::size_t> sleepers_;
+  std::uint64_t period_;
+  std::uint64_t burst_;
+  apex::Rng rng_;
+};
+
+/// Crash adversary: processor i executes no steps at or after crash_time[i]
+/// (S_i(k) = infinity thereafter).  At least one processor must survive.
+class CrashSchedule final : public Schedule {
+ public:
+  CrashSchedule(std::size_t nprocs, std::vector<std::uint64_t> crash_times,
+                apex::Rng rng);
+
+  std::size_t next(std::uint64_t t) override;
+
+ private:
+  std::vector<std::uint64_t> crash_times_;
+  apex::Rng rng_;
+};
+
+/// Fixed script of grants (for unit tests and the Fig. 3 reproduction),
+/// falling back to round-robin when the script is exhausted.
+class ScriptedSchedule final : public Schedule {
+ public:
+  ScriptedSchedule(std::size_t nprocs, std::vector<std::size_t> script)
+      : Schedule(nprocs), script_(std::move(script)) {
+    for (auto p : script_)
+      if (p >= nprocs)
+        throw std::invalid_argument("ScriptedSchedule: proc out of range");
+  }
+
+  std::size_t next(std::uint64_t t) override {
+    if (pos_ < script_.size()) return script_[pos_++];
+    return static_cast<std::size_t>(t % nprocs_);
+  }
+
+ private:
+  std::vector<std::size_t> script_;
+  std::size_t pos_ = 0;
+};
+
+/// Bursty/jittery schedule: picks a processor and grants it a geometric
+/// burst of steps before re-drawing.  Models context switches: long runs of
+/// one processor while others stall.
+class BurstSchedule final : public Schedule {
+ public:
+  BurstSchedule(std::size_t nprocs, double continue_prob, apex::Rng rng)
+      : Schedule(nprocs), continue_prob_(continue_prob), rng_(rng) {
+    if (continue_prob < 0.0 || continue_prob >= 1.0)
+      throw std::invalid_argument("BurstSchedule: continue_prob in [0,1)");
+    current_ = static_cast<std::size_t>(rng_.below(nprocs_));
+  }
+
+  std::size_t next(std::uint64_t) override {
+    if (!rng_.coin(continue_prob_))
+      current_ = static_cast<std::size_t>(rng_.below(nprocs_));
+    return current_;
+  }
+
+ private:
+  double continue_prob_;
+  apex::Rng rng_;
+  std::size_t current_;
+};
+
+/// Fully general schedule driven by a user callback.  Declared
+/// NON-oblivious: the callback may capture simulator or protocol state and
+/// base grants on it, which is exactly the adaptive-adversary power the
+/// A-PRAM model excludes.  Used by stress tests and by the E14 ablation
+/// (showing Claim 8 FAILS without the obliviousness assumption).
+class CallbackSchedule final : public Schedule {
+ public:
+  using Fn = std::function<std::size_t(std::uint64_t t)>;
+  CallbackSchedule(std::size_t nprocs, Fn fn)
+      : Schedule(nprocs), fn_(std::move(fn)) {
+    if (!fn_) throw std::invalid_argument("CallbackSchedule: empty callback");
+  }
+
+  std::size_t next(std::uint64_t t) override {
+    const std::size_t p = fn_(t);
+    if (p >= nprocs_)
+      throw std::out_of_range("CallbackSchedule: callback chose bad proc");
+    return p;
+  }
+
+  bool is_oblivious() const noexcept override { return false; }
+
+ private:
+  Fn fn_;
+};
+
+/// Named factory used by tests/benches to sweep the whole adversary family.
+enum class ScheduleKind {
+  kRoundRobin,
+  kUniformRandom,
+  kPowerLaw,
+  kSleeper,
+  kBurst,
+};
+
+const char* schedule_kind_name(ScheduleKind k) noexcept;
+
+/// Build a schedule of the given kind with canonical parameters
+/// (power-law alpha=1.2; sleepers = n/8 procs, period 64n, burst 4n;
+/// burst continue prob 0.95).
+std::unique_ptr<Schedule> make_schedule(ScheduleKind kind, std::size_t nprocs,
+                                        apex::Rng rng);
+
+/// All kinds, for sweeps.
+std::vector<ScheduleKind> all_schedule_kinds();
+
+}  // namespace apex::sim

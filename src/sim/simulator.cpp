@@ -1,0 +1,133 @@
+#include "sim/simulator.h"
+
+namespace apex::sim {
+
+Simulator::Simulator(SimConfig cfg, std::unique_ptr<Schedule> schedule)
+    : seeds_{cfg.seed},
+      memory_(cfg.memory_words),
+      schedule_(std::move(schedule)),
+      nprocs_(cfg.nprocs) {
+  if (!schedule_) throw std::invalid_argument("Simulator: null schedule");
+  if (schedule_->nprocs() != nprocs_)
+    throw std::invalid_argument("Simulator: schedule nprocs mismatch");
+  procs_.reserve(nprocs_);
+}
+
+bool Simulator::grant(std::size_t p) {
+  ProcState& ps = procs_[p];
+  if (ps.finished) return false;
+
+  auto top = ps.task.handle();
+  Ctx& ctx = *ps.ctx;
+
+  // Resume the deepest suspended coroutine (the top-level proc on the first
+  // grant, otherwise wherever the last step awaiter suspended — possibly
+  // inside nested SubTasks).  It runs protocol code until it requests the
+  // next atomic op (a step awaiter records it in the Ctx) or the top-level
+  // coroutine finishes.  Plain computation between awaits is free; the op
+  // requested *by this grant* executes below, atomically.
+  std::coroutine_handle<> h = ctx.resume_point_ ? ctx.resume_point_
+                                                : std::coroutine_handle<>(top);
+  ctx.resume_point_ = {};
+  h.resume();
+
+  if (top.promise().exception) std::rethrow_exception(top.promise().exception);
+
+  StepEvent ev;
+  ev.time = work_;
+  ev.proc = p;
+
+  if (top.done()) {
+    ps.finished = true;
+    --alive_;
+    // The final resume still consumed the processor's step (it did the local
+    // work of deciding to halt).
+    ev.op = Op{Op::Kind::Local, 0, 0, 0};
+  } else {
+    const Op op = ctx.pending_;
+    ev.op = op;
+    switch (op.kind) {
+      case Op::Kind::Read: {
+        const Cell c = memory_.at(op.addr);
+        ev.before = ev.after = c;
+        ctx.result_ = c;
+        break;
+      }
+      case Op::Kind::Write: {
+        Cell& c = memory_.at(op.addr);
+        ev.before = c;
+        c = Cell{op.value, op.stamp};
+        ev.after = c;
+        ctx.result_ = c;
+        break;
+      }
+      case Op::Kind::Local:
+      case Op::Kind::None:
+        ctx.result_ = Cell{};
+        break;
+    }
+  }
+
+  ps.steps += 1;
+  work_ += 1;
+  if (observer_ != nullptr) observer_->on_step(ev);
+  return true;
+}
+
+Simulator::RunResult Simulator::run(std::uint64_t max_steps,
+                                    const std::function<bool()>& stop,
+                                    std::uint64_t check_interval) {
+  if (!started_) {
+    started_ = true;
+    alive_ = procs_.size();
+    for (const auto& ps : procs_)
+      if (ps.finished) --alive_;
+  }
+  if (check_interval == 0) check_interval = 1;
+
+  RunResult res;
+  std::uint64_t starvation = 0;
+  const std::uint64_t starvation_limit =
+      std::max<std::uint64_t>(1u << 20, 64 * nprocs_);
+
+  while (res.work < max_steps) {
+    if (alive_ == 0) {
+      res.all_finished = true;
+      break;
+    }
+    if (stop_requested_) {
+      res.stop_requested = true;
+      stop_requested_ = false;
+      break;
+    }
+    if (stop && res.work % check_interval == 0 && stop()) {
+      res.predicate_hit = true;
+      break;
+    }
+
+    // The schedule's clock ticks on every grant attempt, including grants to
+    // finished processors (real time passes even when a processor is done).
+    const std::size_t p = schedule_->next(tick_++);
+    if (p >= procs_.size())
+      throw std::logic_error("Simulator: schedule granted unknown proc");
+    if (!grant(p)) {
+      // Schedule granted a finished processor; charge nothing but guard
+      // against schedules that starve all remaining live processors.
+      if (++starvation > starvation_limit)
+        throw std::runtime_error(
+            "Simulator: schedule starved live processors");
+      continue;
+    }
+    starvation = 0;
+    res.work += 1;
+  }
+  return res;
+}
+
+std::size_t Ctx::nprocs() const noexcept { return sim_->nprocs(); }
+
+std::uint64_t Ctx::steps() const noexcept { return sim_->proc_steps(id_); }
+
+void Ctx::request_stop() const noexcept { sim_->request_stop(); }
+
+}  // namespace apex::sim

@@ -1,0 +1,121 @@
+// The A-PRAM simulator: grants atomic steps to virtual processors according
+// to an adversary schedule and accounts total work exactly as the paper
+// defines it — "the total number of steps performed in the system, summed
+// over all processors", including busy waiting and idling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/memory.h"
+#include "sim/proc.h"
+#include "sim/schedule.h"
+
+namespace apex::sim {
+
+/// One executed atomic step, as seen by an observer.
+struct StepEvent {
+  std::uint64_t time = 0;   ///< Global step index (work units so far - 1).
+  std::size_t proc = 0;
+  Op op{};
+  Cell before{};            ///< Cell content before the op (reads: == after).
+  Cell after{};             ///< Cell content after the op.
+};
+
+/// Out-of-band observer.  Hooks run outside the model: they cost no work and
+/// must not mutate memory.  Used by the Lemma inspectors.
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+  virtual void on_step(const StepEvent& ev) = 0;
+};
+
+struct SimConfig {
+  std::size_t nprocs = 0;
+  std::size_t memory_words = 0;
+  std::uint64_t seed = 1;  ///< Root of the processor-stream seed tree.
+};
+
+class Simulator {
+ public:
+  Simulator(SimConfig cfg, std::unique_ptr<Schedule> schedule);
+
+  Memory& memory() noexcept { return memory_; }
+  const Memory& memory() const noexcept { return memory_; }
+  std::size_t nprocs() const noexcept { return nprocs_; }
+
+  /// Spawn a virtual processor.  `factory` is invoked once with the
+  /// processor's Ctx& and must return the protocol coroutine
+  /// (e.g. `[&](Ctx& c) { return my_protocol(c, args...); }`).
+  /// Returns the processor id.  All spawns must precede the first run().
+  template <typename Factory>
+  std::size_t spawn(Factory&& factory) {
+    if (started_)
+      throw std::logic_error("Simulator::spawn after run() started");
+    const std::size_t id = procs_.size();
+    auto ctx = std::make_unique<Ctx>(*this, id, seeds_.processor(id));
+    Ctx& ref = *ctx;
+    procs_.push_back(ProcState{std::move(ctx), factory(ref), 0, false});
+    return id;
+  }
+
+  struct RunResult {
+    std::uint64_t work = 0;     ///< Work units consumed by this run() call.
+    bool stop_requested = false;
+    bool all_finished = false;
+    bool predicate_hit = false;
+  };
+
+  /// Run until: `max_steps` more work units are consumed, every processor
+  /// finished, stop was requested, or `stop` (checked every
+  /// `check_interval` grants) returns true.  May be called repeatedly.
+  RunResult run(std::uint64_t max_steps,
+                const std::function<bool()>& stop = nullptr,
+                std::uint64_t check_interval = 256);
+
+  /// Total work units consumed across all run() calls.
+  std::uint64_t total_work() const noexcept { return work_; }
+
+  /// Steps granted to processor i so far.
+  std::uint64_t proc_steps(std::size_t i) const { return procs_.at(i).steps; }
+
+  bool finished(std::size_t i) const { return procs_.at(i).finished; }
+
+  void set_observer(StepObserver* obs) noexcept { observer_ = obs; }
+
+  void request_stop() noexcept { stop_requested_ = true; }
+
+  const Schedule& schedule() const noexcept { return *schedule_; }
+
+ private:
+  struct ProcState {
+    std::unique_ptr<Ctx> ctx;
+    ProcTask task;
+    std::uint64_t steps = 0;
+    bool finished = false;
+  };
+
+  friend class Ctx;
+
+  /// Grant one atomic step to processor p.  Returns false if p had already
+  /// finished (no work charged).
+  bool grant(std::size_t p);
+
+  SeedTree seeds_;
+  Memory memory_;
+  std::unique_ptr<Schedule> schedule_;
+  std::vector<ProcState> procs_;
+  std::size_t nprocs_;
+  std::size_t alive_ = 0;
+  std::uint64_t work_ = 0;
+  std::uint64_t tick_ = 0;
+  bool stop_requested_ = false;
+  bool started_ = false;
+  StepObserver* observer_ = nullptr;
+};
+
+}  // namespace apex::sim

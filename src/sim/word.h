@@ -1,0 +1,25 @@
+// The A-PRAM machine word.
+//
+// The paper postulates (§1, "The model") that in a single atomic operation
+// the host can read or write a full word *together with an appropriate
+// timestamp* (timestamps are O(log n) bits).  No atomic operation both reads
+// and writes, so there is no test-and-set or compare-and-swap anywhere in
+// this library.
+#pragma once
+
+#include <cstdint>
+
+namespace apex::sim {
+
+using Word = std::uint64_t;
+
+/// One shared-memory location: a value and its timestamp, accessed together
+/// in a single atomic step.  Stamp 0 is reserved for "never written".
+struct Cell {
+  Word value = 0;
+  Word stamp = 0;
+
+  friend bool operator==(const Cell&, const Cell&) = default;
+};
+
+}  // namespace apex::sim

@@ -1,0 +1,111 @@
+#include "trace/timeline.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace apex::trace {
+
+Timeline::Timeline(std::vector<std::string> lane_names, std::uint64_t t0,
+                   std::uint64_t t1, std::size_t width)
+    : names_(std::move(lane_names)), t0_(t0), t1_(t1), width_(width) {
+  if (t1_ <= t0_) throw std::invalid_argument("Timeline: t1 must exceed t0");
+  if (width_ == 0) throw std::invalid_argument("Timeline: width must be > 0");
+  rows_.assign(names_.size(), std::string(width_, ' '));
+  ruler_.assign(width_, false);
+}
+
+std::size_t Timeline::bucket_of(std::uint64_t t) const {
+  if (t <= t0_) return 0;
+  if (t >= t1_) return width_ - 1;
+  return static_cast<std::size_t>(static_cast<unsigned __int128>(t - t0_) *
+                                  width_ / (t1_ - t0_));
+}
+
+void Timeline::add(const Span& s) {
+  if (s.lane >= rows_.size())
+    throw std::out_of_range("Timeline::add: lane out of range");
+  if (s.end <= t0_ || s.begin >= t1_ || s.end <= s.begin) return;
+  const std::size_t b0 = bucket_of(s.begin);
+  const std::size_t b1 = std::max(b0, bucket_of(s.end - 1));
+  for (std::size_t b = b0; b <= b1 && b < width_; ++b) rows_[s.lane][b] = s.tag;
+}
+
+void Timeline::add_ruler(std::uint64_t t) {
+  if (t < t0_ || t >= t1_) return;
+  ruler_[bucket_of(t)] = true;
+}
+
+std::string Timeline::render() const {
+  std::size_t name_w = 0;
+  for (const auto& n : names_) name_w = std::max(name_w, n.size());
+  std::ostringstream os;
+  for (std::size_t l = 0; l < rows_.size(); ++l) {
+    os << names_[l] << std::string(name_w - names_[l].size(), ' ') << " ";
+    std::string row = rows_[l];
+    for (std::size_t b = 0; b < width_; ++b)
+      if (ruler_[b] && row[b] == ' ') row[b] = '|';
+    os << row << '\n';
+  }
+  os << std::string(name_w, ' ') << " " <<'t' << '=' << t0_ << " "
+     << std::string(width_ > 20 ? width_ - 20 : 0, '-') << "> t=" << t1_
+     << '\n';
+  return os.str();
+}
+
+Timeline cycles_timeline(const std::vector<agreement::CycleRecord>& records,
+                         std::size_t nprocs, std::size_t focus_bin,
+                         sim::Word current_phase, std::uint64_t t0,
+                         std::uint64_t t1, std::size_t width,
+                         std::uint64_t stage_len) {
+  std::vector<std::string> names;
+  names.reserve(nprocs);
+  for (std::size_t p = 0; p < nprocs; ++p)
+    names.push_back("P" + std::to_string(p));
+  Timeline tl(std::move(names), t0, t1, width);
+  if (stage_len > 0)
+    for (std::uint64_t t = t0 - (t0 % stage_len); t < t1; t += stage_len)
+      tl.add_ruler(t);
+  for (const auto& r : records) {
+    if (r.proc >= nprocs) continue;
+    if (r.bin != focus_bin) {
+      tl.add({r.proc, r.s_time, r.f_time, '.'});
+    } else if (r.phase != current_phase) {
+      tl.add({r.proc, r.s_time, r.f_time, '!'});
+    } else {
+      tl.add({r.proc, r.s_time, r.d_time, 'S'});
+      tl.add({r.proc, r.d_time, r.f_time, 'W'});
+    }
+  }
+  return tl;
+}
+
+std::string bin_row(const agreement::BinArray& bins, std::size_t bin,
+                    sim::Word phase) {
+  std::string out;
+  std::vector<sim::Word> distinct;
+  const std::size_t b = bins.cells_per_bin();
+  for (std::size_t j = 0; j < b; ++j) {
+    if (j == bins.upper_half_begin()) out += '|';
+    if (!bins.filled(bin, j, phase)) {
+      out += '.';
+      continue;
+    }
+    const sim::Word v = bins.value(bin, j);
+    std::size_t idx = 0;
+    while (idx < distinct.size() && distinct[idx] != v) ++idx;
+    if (idx == distinct.size()) distinct.push_back(v);
+    out += static_cast<char>('a' + (idx % 26));
+  }
+  return out;
+}
+
+std::string bin_heatmap(const agreement::BinArray& bins, sim::Word phase) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < bins.bins(); ++i)
+    os << "bin" << i << (i < 10 ? "  " : " ") << bin_row(bins, i, phase)
+       << '\n';
+  return os.str();
+}
+
+}  // namespace apex::trace

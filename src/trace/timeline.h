@@ -1,0 +1,80 @@
+// ASCII timeline & heatmap rendering for protocol inspection.
+//
+// The paper's Figures 3 and 4 are timing diagrams: cycles of different
+// processors laid out against stage boundaries, with the bin's cells
+// filling underneath.  This module renders the same pictures from recorded
+// CycleRecords and a live BinArray, so examples and debugging sessions can
+// SEE stabilizing structures and oscillations instead of inferring them
+// from counters.  Everything here is out-of-band: rendering costs no model
+// work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "agreement/bin_array.h"
+#include "agreement/protocol.h"
+
+namespace apex::trace {
+
+/// A half-open span [begin, end) of global work-time on some lane, drawn
+/// with a tag character.
+struct Span {
+  std::size_t lane = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  char tag = 'x';
+};
+
+/// Fixed-width multi-lane timeline.  Time is compressed into `width`
+/// buckets between [t0, t1); later-added spans overdraw earlier ones within
+/// a bucket.
+class Timeline {
+ public:
+  Timeline(std::vector<std::string> lane_names, std::uint64_t t0,
+           std::uint64_t t1, std::size_t width = 72);
+
+  void add(const Span& s);
+
+  /// Vertical ruler marks (e.g. stage boundaries), drawn as '|' on every
+  /// lane bucket they fall into (unless a span already claims it).
+  void add_ruler(std::uint64_t t);
+
+  /// Render: one line per lane, name-padded, plus a bottom axis line.
+  std::string render() const;
+
+  std::size_t width() const noexcept { return width_; }
+
+ private:
+  std::size_t bucket_of(std::uint64_t t) const;
+
+  std::vector<std::string> names_;
+  std::uint64_t t0_, t1_;
+  std::size_t width_;
+  std::vector<std::string> rows_;
+  std::vector<bool> ruler_;
+};
+
+/// Build a per-processor timeline of agreement cycles from CycleRecords.
+/// Cycles operating on `focus_bin` are drawn 'S' (search, S->D) then 'W'
+/// (write/pad, D->F); cycles on other bins are drawn '.'; stale-phase
+/// cycles (clobbers) are drawn '!'.
+Timeline cycles_timeline(const std::vector<agreement::CycleRecord>& records,
+                         std::size_t nprocs, std::size_t focus_bin,
+                         sim::Word current_phase, std::uint64_t t0,
+                         std::uint64_t t1, std::size_t width = 72,
+                         std::uint64_t stage_len = 0);
+
+/// One-line-per-bin heatmap of the bin array at `phase`:
+/// '.' = empty cell, letters 'a','b',... = filled, letter identifies the
+/// distinct value (so a unanimous bin is a run of a single letter and a
+/// conflicted bin shows at least two letters).  A '|' separates the lower
+/// and upper halves.
+std::string bin_heatmap(const agreement::BinArray& bins, sim::Word phase);
+
+/// Heatmap for a single bin (same encoding, no trailing newline).
+std::string bin_row(const agreement::BinArray& bins, std::size_t bin,
+                    sim::Word phase);
+
+}  // namespace apex::trace

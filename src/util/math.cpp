@@ -1,0 +1,13 @@
+#include "util/math.h"
+
+namespace apex {
+
+double n_logn_loglogn(std::size_t n) noexcept {
+  return static_cast<double>(n) * lg(n) * lglg(n);
+}
+
+double n_logn(std::size_t n) noexcept {
+  return static_cast<double>(n) * lg(n);
+}
+
+}  // namespace apex

@@ -1,0 +1,67 @@
+// Small integer/float math helpers used throughout APEX.
+//
+// The paper's quantities are all functions of n: bins have beta*log n cells,
+// cycles take Theta(log log n) steps, the clock ticks every Theta(n)
+// updates.  These helpers centralize the discrete versions of those
+// functions so every module rounds the same way.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace apex {
+
+/// floor(log2(x)) for x >= 1; returns 0 for x in {0, 1}.
+constexpr std::uint32_t floor_log2(std::uint64_t x) noexcept {
+  std::uint32_t r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1; returns 0 for x in {0, 1}.
+constexpr std::uint32_t ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return floor_log2(x - 1) + 1;
+}
+
+/// "lg n" as the paper uses it: max(1, ceil(log2 n)).  Never zero, so
+/// beta*lg(n) sized structures are non-degenerate even for tiny n.
+constexpr std::uint32_t lg(std::uint64_t n) noexcept {
+  std::uint32_t v = ceil_log2(n);
+  return v == 0 ? 1 : v;
+}
+
+/// "lg lg n": max(1, ceil(log2(lg n))).
+constexpr std::uint32_t lglg(std::uint64_t n) noexcept {
+  std::uint32_t v = ceil_log2(lg(n));
+  return v == 0 ? 1 : v;
+}
+
+/// True if x is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Smallest power of two >= x (x >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  std::uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// Integer ceiling division.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// The paper's headline work bound, n * lg n * lglg n, as a double
+/// (used to normalize measured work in the benches).
+double n_logn_loglogn(std::size_t n) noexcept;
+
+/// n * lg n (used for cycle-count bounds).
+double n_logn(std::size_t n) noexcept;
+
+}  // namespace apex

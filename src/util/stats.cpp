@@ -1,0 +1,188 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace apex {
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& o) noexcept {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += o.m2_ + delta * delta * na * nb / total;
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+double Accumulator::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Accumulator::ci95() const noexcept {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double chi_square_stat(const std::vector<std::uint64_t>& observed,
+                       const std::vector<double>& expected_probs) {
+  if (observed.size() != expected_probs.size())
+    throw std::invalid_argument("chi_square_stat: size mismatch");
+  std::uint64_t total = 0;
+  for (auto c : observed) total += c;
+  if (total == 0) throw std::invalid_argument("chi_square_stat: no samples");
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double exp = expected_probs[i] * static_cast<double>(total);
+    if (exp <= 0.0) {
+      if (observed[i] != 0)
+        return std::numeric_limits<double>::infinity();
+      continue;
+    }
+    const double d = static_cast<double>(observed[i]) - exp;
+    stat += d * d / exp;
+  }
+  return stat;
+}
+
+namespace {
+
+// Lanczos approximation of log Gamma.
+double lgamma_lanczos(double x) {
+  static const double g[] = {676.5203681218851,     -1259.1392167224028,
+                             771.32342877765313,    -176.61502916214059,
+                             12.507343278686905,    -0.13857109526572012,
+                             9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - lgamma_lanczos(1.0 - x);
+  }
+  x -= 1.0;
+  double a = 0.99999999999980993;
+  const double t = x + 7.5;
+  for (int i = 0; i < 8; ++i) a += g[i] / (x + static_cast<double>(i) + 1.0);
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t + std::log(a);
+}
+
+// Regularized lower incomplete gamma P(s,x) by series (x < s+1).
+double gamma_p_series(double s, double x) {
+  double sum = 1.0 / s;
+  double term = sum;
+  for (int k = 1; k < 1000; ++k) {
+    term *= x / (s + static_cast<double>(k));
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + s * std::log(x) - lgamma_lanczos(s));
+}
+
+// Regularized upper incomplete gamma Q(s,x) by continued fraction (x >= s+1).
+double gamma_q_cf(double s, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - s;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 1000; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - s);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + s * std::log(x) - lgamma_lanczos(s)) * h;
+}
+
+}  // namespace
+
+double gamma_q(double s, double x) {
+  if (x < 0.0 || s <= 0.0) throw std::invalid_argument("gamma_q: bad args");
+  if (x == 0.0) return 1.0;
+  if (x < s + 1.0) return 1.0 - gamma_p_series(s, x);
+  return gamma_q_cf(s, x);
+}
+
+double chi_square_pvalue(double x, std::size_t dof) {
+  if (dof == 0) throw std::invalid_argument("chi_square_pvalue: dof == 0");
+  if (!std::isfinite(x)) return 0.0;
+  return gamma_q(static_cast<double>(dof) / 2.0, x / 2.0);
+}
+
+RatioFit fit_ratio(const std::vector<double>& y, const std::vector<double>& f) {
+  if (y.size() != f.size() || y.empty())
+    throw std::invalid_argument("fit_ratio: bad sizes");
+  RatioFit out;
+  out.ratios.reserve(y.size());
+  double log_sum = 0.0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double r = y[i] / f[i];
+    out.ratios.push_back(r);
+    log_sum += std::log(r);
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  out.geometric_mean = std::exp(log_sum / static_cast<double>(y.size()));
+  out.spread = hi / lo;
+  return out;
+}
+
+double loglog_slope(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2)
+    throw std::invalid_argument("loglog_slope: need >= 2 points");
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+}  // namespace apex

@@ -1,0 +1,79 @@
+// Statistics helpers for the benchmark harness and property tests.
+//
+// The reproduction validates *shapes*, not absolute numbers:
+//   - growth-rate fits (is total work ~ n log n log log n?),
+//   - bracketing (updates per clock tick within [a1*n, a2*n]),
+//   - distribution preservation (Claim 8: agreed values follow p_i(x)),
+// so we need summary statistics, confidence intervals, chi-square
+// goodness-of-fit, and least-squares fits of measured work against candidate
+// complexity curves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apex {
+
+/// Streaming accumulator: count/mean/variance (Welford), min/max.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  void merge(const Accumulator& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Half-width of an approximate 95% confidence interval for the mean
+  /// (normal approximation, 1.96 * stderr). 0 when fewer than 2 samples.
+  double ci95() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of a sample (linear interpolation). q in [0,1].
+/// Sorts a copy; fine for bench-sized samples.
+double quantile(std::vector<double> xs, double q);
+
+/// Pearson chi-square statistic for observed counts vs expected
+/// probabilities.  `observed.size() == expected_probs.size()`; total count
+/// is inferred from `observed`.
+double chi_square_stat(const std::vector<std::uint64_t>& observed,
+                       const std::vector<double>& expected_probs);
+
+/// Upper-tail p-value of the chi-square distribution with `dof` degrees of
+/// freedom at statistic `x` (via the regularized upper incomplete gamma).
+double chi_square_pvalue(double x, std::size_t dof);
+
+/// Result of fitting y ~ c * f(n): the per-point ratio y/f(n) and how flat
+/// it is.  A complexity hypothesis "y = Theta(f)" predicts the ratio column
+/// is approximately constant; `spread` = max_ratio / min_ratio quantifies
+/// that (close to 1 means a good fit).
+struct RatioFit {
+  std::vector<double> ratios;
+  double geometric_mean = 0.0;
+  double spread = 0.0;
+};
+
+RatioFit fit_ratio(const std::vector<double>& y, const std::vector<double>& f);
+
+/// Least-squares slope of log(y) vs log(x): the empirical polynomial degree.
+/// Useful to distinguish ~n^1 (quasilinear) from ~n^2 baselines.
+double loglog_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Regularized upper incomplete gamma Q(s, x); exposed for tests.
+double gamma_q(double s, double x);
+
+}  // namespace apex

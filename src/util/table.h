@@ -1,0 +1,46 @@
+// Minimal fixed-column table renderer for the benchmark binaries.
+//
+// Every bench prints the series the paper's theorem/lemma predicts as an
+// aligned text table (and optionally CSV), so EXPERIMENTS.md can quote the
+// output verbatim.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace apex {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row.  Returns *this for chaining.
+  Table& row();
+
+  /// Append one cell to the current row.
+  Table& cell(const std::string& s);
+  Table& cell(const char* s);
+  Table& cell(double v, int precision = 3);
+  Table& cell(std::uint64_t v);
+  Table& cell(std::int64_t v);
+  Table& cell(int v);
+
+  std::size_t rows() const noexcept { return cells_.size(); }
+
+  /// Render as an aligned text table with a header rule.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (for downstream plotting).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Format helper: fixed precision double -> string.
+std::string fmt(double v, int precision = 3);
+
+}  // namespace apex

@@ -1,0 +1,112 @@
+#include "agreement/bin_array.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/memory.h"
+
+namespace apex::agreement {
+namespace {
+
+TEST(BinArray, LayoutAndAddressing) {
+  sim::Memory mem(10);
+  BinArray bins(mem, 4, 8);
+  EXPECT_EQ(bins.base_addr(), 10u);
+  EXPECT_EQ(bins.bins(), 4u);
+  EXPECT_EQ(bins.cells_per_bin(), 8u);
+  EXPECT_EQ(bins.size_words(), 32u);
+  EXPECT_EQ(mem.size(), 42u);
+  EXPECT_EQ(bins.addr(0, 0), 10u);
+  EXPECT_EQ(bins.addr(1, 0), 18u);
+  EXPECT_EQ(bins.addr(3, 7), 10u + 3 * 8 + 7);
+}
+
+TEST(BinArray, OwnsAndInverseMapping) {
+  sim::Memory mem(5);
+  BinArray bins(mem, 3, 4);
+  EXPECT_FALSE(bins.owns(4));
+  EXPECT_TRUE(bins.owns(5));
+  EXPECT_TRUE(bins.owns(5 + 11));
+  EXPECT_FALSE(bins.owns(5 + 12));
+  const std::size_t a = bins.addr(2, 3);
+  EXPECT_EQ(bins.bin_of(a), 2u);
+  EXPECT_EQ(bins.cell_of(a), 3u);
+}
+
+TEST(BinArray, CellsForScalesWithLogN) {
+  EXPECT_EQ(BinArray::cells_for(1024, 8), 80u);   // 8 * lg(1024)=10
+  EXPECT_EQ(BinArray::cells_for(2, 8), 8u);       // 8 * 1
+  EXPECT_GE(BinArray::cells_for(2, 0), 4u);       // floor of 4
+}
+
+TEST(BinArray, FilledNeedsExactStamp) {
+  sim::Memory mem(0);
+  BinArray bins(mem, 2, 4);
+  mem.at(bins.addr(0, 1)) = sim::Cell{7, 3};
+  EXPECT_TRUE(bins.filled(0, 1, 3));
+  EXPECT_FALSE(bins.filled(0, 1, 2));
+  EXPECT_FALSE(bins.filled(0, 1, 4));
+  EXPECT_FALSE(bins.filled(0, 0, 3));
+  EXPECT_EQ(bins.value(0, 1), 7u);
+}
+
+TEST(BinArray, FirstEmptySkipsFilledPrefix) {
+  sim::Memory mem(0);
+  BinArray bins(mem, 1, 6);
+  EXPECT_EQ(bins.first_empty(0, 1), 0u);
+  mem.at(bins.addr(0, 0)) = sim::Cell{1, 1};
+  mem.at(bins.addr(0, 1)) = sim::Cell{1, 1};
+  EXPECT_EQ(bins.first_empty(0, 1), 2u);
+  // A hole: cell 1 loses its stamp (clobbered).
+  mem.at(bins.addr(0, 1)) = sim::Cell{1, 9};
+  EXPECT_EQ(bins.first_empty(0, 1), 1u);
+  // Full bin.
+  for (std::size_t j = 0; j < 6; ++j) mem.at(bins.addr(0, j)) = sim::Cell{1, 1};
+  EXPECT_EQ(bins.first_empty(0, 1), 6u);
+}
+
+TEST(BinArray, UpperHalfAccounting) {
+  sim::Memory mem(0);
+  BinArray bins(mem, 1, 8);
+  EXPECT_EQ(bins.upper_half_begin(), 4u);
+  EXPECT_EQ(bins.upper_half_filled(0, 1), 0u);
+  mem.at(bins.addr(0, 4)) = sim::Cell{5, 1};
+  mem.at(bins.addr(0, 6)) = sim::Cell{5, 1};
+  EXPECT_EQ(bins.upper_half_filled(0, 1), 2u);
+  // Lower-half cells don't count.
+  mem.at(bins.addr(0, 0)) = sim::Cell{5, 1};
+  EXPECT_EQ(bins.upper_half_filled(0, 1), 2u);
+}
+
+TEST(BinArray, UpperHalfValuesDeduplicates) {
+  sim::Memory mem(0);
+  BinArray bins(mem, 1, 8);
+  mem.at(bins.addr(0, 4)) = sim::Cell{5, 1};
+  mem.at(bins.addr(0, 5)) = sim::Cell{5, 1};
+  mem.at(bins.addr(0, 7)) = sim::Cell{9, 1};
+  const auto vals = bins.upper_half_values(0, 1);
+  EXPECT_EQ(vals.size(), 2u);
+}
+
+TEST(BinArray, AgreedValueOnlyWhenUnanimous) {
+  sim::Memory mem(0);
+  BinArray bins(mem, 1, 8);
+  EXPECT_FALSE(bins.agreed_value(0, 1).has_value());
+  mem.at(bins.addr(0, 5)) = sim::Cell{42, 1};
+  ASSERT_TRUE(bins.agreed_value(0, 1).has_value());
+  EXPECT_EQ(*bins.agreed_value(0, 1), 42u);
+  mem.at(bins.addr(0, 6)) = sim::Cell{41, 1};
+  EXPECT_FALSE(bins.agreed_value(0, 1).has_value());
+}
+
+TEST(BinArray, PhasesIsolateContents) {
+  // The same physical array serves consecutive phases: stamps from phase 1
+  // read as empty in phase 2.
+  sim::Memory mem(0);
+  BinArray bins(mem, 1, 8);
+  for (std::size_t j = 0; j < 8; ++j) mem.at(bins.addr(0, j)) = sim::Cell{3, 1};
+  EXPECT_EQ(bins.upper_half_filled(0, 2), 0u);
+  EXPECT_EQ(bins.first_empty(0, 2), 0u);
+}
+
+}  // namespace
+}  // namespace apex::agreement

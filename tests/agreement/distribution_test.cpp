@@ -1,0 +1,98 @@
+// Claim 8 (paper §4.4): the agreement procedure preserves the distribution
+// of the nondeterministic functions — Pr[v_i = x] = p_i(x), because under
+// the oblivious adversary the identity of the cycle whose f-evaluation wins
+// bin i is independent of the value that cycle computed.
+//
+// This is the correctness property that makes the whole execution scheme
+// valid for RANDOMIZED programs, so we test it directly: run many
+// independently-seeded agreements on a biased coin and chi-square the
+// agreed-value frequencies against the coin's true distribution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agreement/testbed.h"
+#include "util/stats.h"
+
+namespace apex::agreement {
+namespace {
+
+// Collect agreed coin values over `trials` seeds; returns counts[value].
+std::vector<std::uint64_t> sample_agreed_coins(double p, int trials,
+                                               std::size_t n,
+                                               sim::ScheduleKind kind,
+                                               std::uint64_t seed_base) {
+  std::vector<std::uint64_t> counts(2, 0);
+  for (int t = 0; t < trials; ++t) {
+    TestbedConfig cfg;
+    cfg.n = n;
+    cfg.seed = seed_base + static_cast<std::uint64_t>(t);
+    cfg.schedule = kind;
+    AgreementTestbed tb(cfg, coin_task(p), coin_support());
+    const auto res = tb.run_until_agreement(50'000'000);
+    EXPECT_TRUE(res.satisfied) << "trial " << t;
+    for (const auto& v : tb.checker().values(1)) {
+      EXPECT_TRUE(v.has_value());
+      if (!v.has_value()) continue;
+      EXPECT_LE(*v, 1u);
+      ++counts[std::min<std::uint64_t>(*v, 1)];
+    }
+  }
+  return counts;
+}
+
+TEST(Claim8, FairCoinDistributionPreserved) {
+  // 40 trials x 16 bins = 640 samples.
+  const auto counts = sample_agreed_coins(0.5, 40, 16,
+                                          sim::ScheduleKind::kUniformRandom, 500);
+  const double stat = chi_square_stat(counts, {0.5, 0.5});
+  const double pval = chi_square_pvalue(stat, 1);
+  EXPECT_GT(pval, 1e-4) << "heads=" << counts[1] << " tails=" << counts[0];
+}
+
+TEST(Claim8, BiasedCoinDistributionPreserved) {
+  const double p = 0.25;
+  const auto counts = sample_agreed_coins(p, 40, 16,
+                                          sim::ScheduleKind::kUniformRandom, 900);
+  const double stat = chi_square_stat(counts, {1.0 - p, p});
+  const double pval = chi_square_pvalue(stat, 1);
+  EXPECT_GT(pval, 1e-4) << "ones=" << counts[1] << " zeros=" << counts[0];
+}
+
+TEST(Claim8, HoldsUnderHostileSchedule) {
+  // The oblivious adversary cannot bias the outcome even with bursty,
+  // heterogeneous scheduling: the winning cycle's identity is fixed by the
+  // schedule + bin choices, independent of the computed coin values.
+  const auto counts =
+      sample_agreed_coins(0.5, 40, 16, sim::ScheduleKind::kBurst, 1300);
+  const double stat = chi_square_stat(counts, {0.5, 0.5});
+  const double pval = chi_square_pvalue(stat, 1);
+  EXPECT_GT(pval, 1e-4) << "heads=" << counts[1] << " tails=" << counts[0];
+}
+
+TEST(Claim8, DegenerateDistributionIsFixed) {
+  // p = 1: every evaluation yields 1, so every agreed value must be 1.
+  const auto counts = sample_agreed_coins(1.0, 5, 16,
+                                          sim::ScheduleKind::kUniformRandom, 1700);
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 5u * 16u);
+}
+
+TEST(Claim8, BinsAreIndependentAcrossIndices) {
+  // Within one run the n agreed coin values should look independent: their
+  // sum concentrates around n*p (loose 4-sigma band).
+  TestbedConfig cfg;
+  cfg.n = 128;
+  cfg.seed = 4242;
+  AgreementTestbed tb(cfg, coin_task(0.5), coin_support());
+  const auto res = tb.run_until_agreement(500'000'000);
+  ASSERT_TRUE(res.satisfied);
+  double sum = 0;
+  for (const auto& v : tb.checker().values(1)) sum += static_cast<double>(*v);
+  const double mean = 128 * 0.5;
+  const double sigma = std::sqrt(128 * 0.25);
+  EXPECT_NEAR(sum, mean, 4 * sigma);
+}
+
+}  // namespace
+}  // namespace apex::agreement

@@ -1,0 +1,190 @@
+// Integration/property tests for Theorem 1 via the shared testbed:
+// agreement is reached within the paper's work bound (up to constants),
+// and the four properties — Uniqueness, Stability, Accessibility,
+// Correctness — hold, across the whole adversary family and many seeds.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "agreement/testbed.h"
+#include "util/math.h"
+
+namespace apex::agreement {
+namespace {
+
+std::uint64_t work_budget(std::size_t n) {
+  // Generous constant x n lg n lglg n; the E1 bench measures the real
+  // constant, tests only need "within the bound's shape".
+  return static_cast<std::uint64_t>(400.0 * n_logn_loglogn(n)) + 200000;
+}
+
+using Param = std::tuple<std::size_t /*n*/, sim::ScheduleKind, std::uint64_t /*seed*/>;
+
+class TheoremSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(TheoremSweep, ReachesAgreementWithAllProperties) {
+  const auto [n, kind, seed] = GetParam();
+  TestbedConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.schedule = kind;
+  AgreementTestbed tb(cfg, uniform_task(1000), uniform_support(1000));
+
+  const auto res = tb.run_until_agreement(work_budget(n));
+  ASSERT_TRUE(res.satisfied)
+      << "n=" << n << " sched=" << sim::schedule_kind_name(kind)
+      << " seed=" << seed << " work=" << res.work;
+
+  const auto st = tb.checker().check(1);
+  EXPECT_TRUE(st.accessibility);
+  EXPECT_TRUE(st.uniqueness);
+  EXPECT_TRUE(st.correctness);
+
+  // Stability: the agreed values must not change while phase 1 persists.
+  const auto before = tb.checker().values(1);
+  tb.run_more(4 * tb.runtime().cfg.omega() * n);
+  const auto after = tb.checker().values(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(before[i].has_value()) << i;
+    if (tb.audit().true_phase() == 1) {
+      ASSERT_TRUE(after[i].has_value()) << i;
+      EXPECT_EQ(*before[i], *after[i]) << "bin " << i << " value changed";
+    }
+  }
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<Param>& info) {
+  return "n" + std::to_string(std::get<0>(info.param)) + "_" +
+         sim::schedule_kind_name(std::get<1>(info.param)) + "_s" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, TheoremSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(16, 64),
+                       ::testing::Values(sim::ScheduleKind::kRoundRobin,
+                                         sim::ScheduleKind::kUniformRandom,
+                                         sim::ScheduleKind::kPowerLaw,
+                                         sim::ScheduleKind::kSleeper,
+                                         sim::ScheduleKind::kBurst),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)),
+    sweep_name);
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, UniformRandomScheduleManySeeds) {
+  TestbedConfig cfg;
+  cfg.n = 32;
+  cfg.seed = GetParam();
+  AgreementTestbed tb(cfg, uniform_task(64), uniform_support(64));
+  const auto res = tb.run_until_agreement(work_budget(32));
+  ASSERT_TRUE(res.satisfied) << "seed=" << GetParam();
+  // Correctness: every agreed value lies in [0, 64).
+  for (const auto& v : tb.checker().values(1)) {
+    ASSERT_TRUE(v.has_value());
+    EXPECT_LT(*v, 64u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Range<std::uint64_t>(100, 140));
+
+TEST(Theorem, DeterministicTaskAgreesOnTheOnlyValidValue) {
+  TestbedConfig cfg;
+  cfg.n = 32;
+  cfg.seed = 5;
+  AgreementTestbed tb(cfg, identity_task(), identity_support());
+  const auto res = tb.run_until_agreement(work_budget(32));
+  ASSERT_TRUE(res.satisfied);
+  const auto vals = tb.checker().values(1);
+  for (std::size_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(vals[i].has_value());
+    EXPECT_EQ(*vals[i], i);
+  }
+}
+
+TEST(Theorem, WorkGrowsQuasilinearlyNotQuadratically) {
+  // Shape check on the headline bound: work(n)/n must grow far slower than
+  // n (i.e. total work is o(n^2); the E1 bench fits the precise curve).
+  std::uint64_t w64 = 0, w256 = 0;
+  {
+    TestbedConfig cfg;
+    cfg.n = 64;
+    cfg.seed = 3;
+    AgreementTestbed tb(cfg, uniform_task(100), uniform_support(100));
+    const auto res = tb.run_until_agreement(work_budget(64));
+    ASSERT_TRUE(res.satisfied);
+    w64 = res.work;
+  }
+  {
+    TestbedConfig cfg;
+    cfg.n = 256;
+    cfg.seed = 3;
+    AgreementTestbed tb(cfg, uniform_task(100), uniform_support(100));
+    const auto res = tb.run_until_agreement(work_budget(256));
+    ASSERT_TRUE(res.satisfied);
+    w256 = res.work;
+  }
+  // n grew 4x; quadratic would grow work 16x.  Allow up to 8x (quasilinear
+  // with log factors and noise).
+  EXPECT_LT(w256, 8 * w64) << "w64=" << w64 << " w256=" << w256;
+}
+
+TEST(Theorem, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    TestbedConfig cfg;
+    cfg.n = 24;
+    cfg.seed = seed;
+    AgreementTestbed tb(cfg, uniform_task(32), uniform_support(32));
+    const auto res = tb.run_until_agreement(work_budget(24));
+    EXPECT_TRUE(res.satisfied);
+    std::vector<sim::Word> vals;
+    for (const auto& v : tb.checker().values(1)) vals.push_back(v.value_or(~0ULL));
+    return std::make_pair(res.work, vals);
+  };
+  const auto a = run(77);
+  const auto b = run(77);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  const auto c = run(78);
+  EXPECT_NE(a.second, c.second);  // different seed -> different random values
+}
+
+TEST(Theorem, AgreementSurvivesCrashFaults) {
+  // Half the processors crash early; the oblivious schedule still grants
+  // enough steps to the survivors (the protocol is symmetric, so ANY
+  // processors' cycles complete the bins).
+  const std::size_t n = 32;
+  TestbedConfig cfg;
+  cfg.n = n;
+  cfg.seed = 9;
+  // Build the testbed, then swap in a crash schedule via a fresh testbed is
+  // not supported; instead run the plain protocol under a crash schedule by
+  // hand.
+  apex::SeedTree seeds{cfg.seed};
+  std::vector<std::uint64_t> crash(n, ~0ULL);
+  for (std::size_t i = 0; i < n / 2; ++i) crash[i] = 2000 + 100 * i;
+  auto sched = std::make_unique<sim::CrashSchedule>(n, crash, seeds.schedule());
+
+  sim::Simulator sim(sim::SimConfig{n, 0, cfg.seed}, std::move(sched));
+  clockx::ClockConfig cc;
+  cc.nprocs = n;
+  cc.alpha = 24.0;
+  clockx::PhaseClock clock(sim.memory(), cc);
+  BinArray bins(sim.memory(), n, BinArray::cells_for(n, 8));
+  AgreementRuntime rt;
+  rt.cfg.n = n;
+  rt.bins = &bins;
+  rt.clock = &clock;
+  rt.task = uniform_task(50);
+  TheoremChecker checker(bins, uniform_support(50));
+  for (std::size_t p = 0; p < n; ++p)
+    sim.spawn([&](sim::Ctx& c) { return agreement_proc(c, rt); });
+  const auto res = sim.run(
+      work_budget(n), [&] { return checker.satisfied(1); }, 64);
+  EXPECT_TRUE(res.predicate_hit);
+}
+
+}  // namespace
+}  // namespace apex::agreement

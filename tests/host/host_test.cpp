@@ -1,0 +1,121 @@
+#include "host/host_agreement.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "host/host_memory.h"
+
+namespace apex::host {
+namespace {
+
+TEST(Pack, RoundTrips) {
+  const std::uint64_t w = Pack::pack(0x12345678AULL, 0xABCDEF);
+  EXPECT_EQ(Pack::value_of(w), 0x12345678AULL);
+  EXPECT_EQ(Pack::stamp_of(w), 0xABCDEFu);
+}
+
+TEST(Pack, ZeroIsEmptyCell) {
+  EXPECT_EQ(Pack::value_of(0), 0u);
+  EXPECT_EQ(Pack::stamp_of(0), 0u);
+}
+
+TEST(Pack, RejectsOverwideValues) {
+  EXPECT_NO_THROW(Pack::pack(Pack::kValueLimit - 1, 0));
+  EXPECT_THROW(Pack::pack(Pack::kValueLimit, 0), std::out_of_range);
+}
+
+TEST(Pack, StampMasked) {
+  const std::uint64_t w = Pack::pack(1, 0xFFFFFFFF);
+  EXPECT_EQ(Pack::stamp_of(w), Pack::kStampMask);
+  EXPECT_EQ(Pack::value_of(w), 1u);
+}
+
+TEST(HostMemory, ReadWriteRoundTrip) {
+  HostMemory mem(4);
+  EXPECT_EQ(mem.size(), 4u);
+  mem.write(2, 99, 7);
+  const HostCell c = mem.read(2);
+  EXPECT_EQ(c.value, 99u);
+  EXPECT_EQ(c.stamp, 7u);
+  EXPECT_EQ(mem.read(0).stamp, 0u);
+}
+
+TEST(HostMemory, OutOfRangeThrows) {
+  HostMemory mem(2);
+  EXPECT_THROW(mem.read(2), std::out_of_range);
+  EXPECT_THROW(mem.write(5, 1, 1), std::out_of_range);
+}
+
+HostConfig make_cfg(std::size_t threads, std::uint64_t seed) {
+  HostConfig cfg;
+  cfg.nthreads = threads;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(HostAgreement, ReachesAgreementOnRealThreads) {
+  HostAgreement ha(make_cfg(4, 1),
+                   [](std::size_t, apex::Rng& rng) { return rng.below(1000); });
+  const auto res = ha.run(30.0);
+  ASSERT_TRUE(res.satisfied) << "work=" << res.total_work;
+  EXPECT_GE(res.phase, 1u);
+  EXPECT_EQ(res.values.size(), 4u);
+  for (auto v : res.values) EXPECT_LT(v, 1000u);
+  EXPECT_GT(res.total_work, 0u);
+  EXPECT_GT(res.cycles, 0u);
+}
+
+TEST(HostAgreement, UniquenessHoldsInUpperHalf) {
+  HostAgreement ha(make_cfg(4, 2), [](std::size_t, apex::Rng& rng) {
+    return rng.below(1ULL << 30);
+  });
+  const auto res = ha.run(30.0);
+  ASSERT_TRUE(res.satisfied);
+  // The threads are stopped now; cells of the observed phase that survived
+  // its successor's overwrites must all still carry the captured value.
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto uh = ha.upper_half_values(i, res.phase);
+    ASSERT_LE(uh.size(), 1u) << "bin " << i;
+    if (!uh.empty()) EXPECT_EQ(uh[0], res.values[i]) << "bin " << i;
+  }
+}
+
+TEST(HostAgreement, DeterministicTaskAgreesOnOnlyValidValue) {
+  HostAgreement ha(make_cfg(4, 3),
+                   [](std::size_t i, apex::Rng&) { return 100 + i; });
+  const auto res = ha.run(30.0);
+  ASSERT_TRUE(res.satisfied);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(res.values[i], 100 + i);
+}
+
+TEST(HostAgreement, WorksWithMoreThreadsThanCores) {
+  // Oversubscription produces exactly the preemption asynchrony the paper
+  // targets; the protocol must still converge.
+  HostAgreement ha(make_cfg(8, 4),
+                   [](std::size_t, apex::Rng& rng) { return rng.below(64); });
+  const auto res = ha.run(60.0);
+  EXPECT_TRUE(res.satisfied) << "work=" << res.total_work;
+}
+
+TEST(HostAgreement, DistributionRoughlyPreservedAcrossRuns) {
+  // Claim 8 smoke test on real threads: fair coins should not be heavily
+  // biased by OS scheduling (loose 3:1 bound over 48 samples).
+  int ones = 0, total = 0;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    HostAgreement ha(make_cfg(4, 100 + seed), [](std::size_t, apex::Rng& rng) {
+      return rng.coin(0.5) ? 1 : 0;
+    });
+    const auto res = ha.run(30.0);
+    ASSERT_TRUE(res.satisfied);
+    for (auto v : res.values) {
+      ones += static_cast<int>(v);
+      ++total;
+    }
+  }
+  EXPECT_GT(ones, total / 4);
+  EXPECT_LT(ones, 3 * total / 4);
+}
+
+}  // namespace
+}  // namespace apex::host

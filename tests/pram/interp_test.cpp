@@ -1,0 +1,169 @@
+#include "pram/interp.h"
+
+#include <gtest/gtest.h>
+
+#include "pram/workloads.h"
+
+namespace apex::pram {
+namespace {
+
+TEST(Interpreter, SimpleDeterministicProgram) {
+  ProgramBuilder b(2, 4);
+  b.step().thread(0, Instr::constant(0, 5)).thread(1, Instr::constant(1, 7));
+  b.step().thread(0, Instr::add(2, 0, 1));
+  Program p = b.build();
+  const auto r = Interpreter(p).run_deterministic({});
+  EXPECT_EQ(r.memory[0], 5u);
+  EXPECT_EQ(r.memory[1], 7u);
+  EXPECT_EQ(r.memory[2], 12u);
+  EXPECT_EQ(r.produced[0][0], 5u);
+  EXPECT_EQ(r.produced[1][0], 12u);
+}
+
+TEST(Interpreter, StepSemanticsAreSynchronous) {
+  // Swap via simultaneous reads: both threads read the PRE-step values.
+  ProgramBuilder b(2, 2);
+  b.step().thread(0, Instr::copy(1, 0)).thread(1, Instr::copy(0, 1));
+  Program p = b.build();
+  const auto r = Interpreter(p).run_deterministic({3, 9});
+  EXPECT_EQ(r.memory[0], 9u);
+  EXPECT_EQ(r.memory[1], 3u);
+}
+
+TEST(Interpreter, RunDeterministicRejectsNondet) {
+  ProgramBuilder b(1, 1);
+  b.step().thread(0, Instr::rand_below(0, 4));
+  Program p = b.build();
+  EXPECT_THROW(Interpreter(p).run_deterministic({}), std::logic_error);
+}
+
+TEST(Interpreter, ReductionComputesSum) {
+  const std::size_t n = 16;
+  Program p = make_reduction(n);
+  std::vector<Word> init(p.nvars(), 0);
+  Word expect = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    init[i] = i * i + 1;
+    expect += init[i];
+  }
+  const auto r = Interpreter(p).run_deterministic(init);
+  EXPECT_EQ(r.memory[reduction_result_var(n)], expect);
+}
+
+TEST(Interpreter, ReductionAllSizes) {
+  for (std::size_t n : {2u, 4u, 8u, 32u, 64u}) {
+    Program p = make_reduction(n);
+    std::vector<Word> init(p.nvars(), 0);
+    for (std::size_t i = 0; i < n; ++i) init[i] = 1;
+    const auto r = Interpreter(p).run_deterministic(init);
+    EXPECT_EQ(r.memory[reduction_result_var(n)], n) << "n=" << n;
+  }
+}
+
+TEST(Interpreter, NondetDrawsFromRng) {
+  ProgramBuilder b(1, 1);
+  b.step().thread(0, Instr::rand_below(0, 1000));
+  Program p = b.build();
+  Interpreter it(p);
+  const auto a = it.run({}, apex::Rng(1));
+  const auto b2 = it.run({}, apex::Rng(1));
+  const auto c = it.run({}, apex::Rng(2));
+  EXPECT_EQ(a.memory[0], b2.memory[0]);
+  EXPECT_LT(a.memory[0], 1000u);
+  // Different seeds almost surely differ over 1000 values.
+  EXPECT_NE(a.memory[0], c.memory[0]);
+}
+
+TEST(Interpreter, LubyInvariantHoldsOnEveryExecution) {
+  const std::size_t n = 16;
+  Program p = make_luby_cycle_round(n, 1 << 20);
+  Interpreter it(p);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto r = it.run({}, apex::Rng(seed));
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(r.memory[luby_violation_var(n, i)], 0u)
+          << "seed=" << seed << " node " << i;
+  }
+}
+
+TEST(Interpreter, LeaderElectionInvariants) {
+  const std::size_t n = 16;
+  Program p = make_leader_election(n, 1 << 16);
+  Interpreter it(p);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto r = it.run({}, apex::Rng(seed));
+    Word maxv = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      maxv = std::max(maxv, r.memory[leader_ticket_var(n, i)]);
+    std::size_t leaders = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(r.memory[leader_max_var(n, i)], maxv) << "broadcast failed";
+      if (r.memory[leader_flag_var(n, i)]) {
+        ++leaders;
+        EXPECT_EQ(r.memory[leader_ticket_var(n, i)], maxv);
+      }
+    }
+    EXPECT_GE(leaders, 1u);
+  }
+}
+
+TEST(Interpreter, ConsistencyProbeFlagsAlwaysOne) {
+  const std::size_t n = 4, chain = 6;
+  Program p = make_consistency_probe(n, chain, 1000);
+  Interpreter it(p);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto r = it.run({}, apex::Rng(seed));
+    for (std::size_t j = 0; j < probe_flag_count(chain); ++j)
+      EXPECT_EQ(r.memory[probe_flag_var(n, chain, j)], 1u) << "flag " << j;
+  }
+}
+
+// --- Consistency oracle ------------------------------------------------------
+
+TEST(ConsistencyOracle, AcceptsInterpreterTrace) {
+  const std::size_t n = 8;
+  Program p = make_luby_cycle_round(n, 1000);
+  const auto r = Interpreter(p).run({}, apex::Rng(3));
+  const std::string err = check_execution_consistency(
+      p, std::vector<Word>(p.nvars(), 0), r.produced, r.memory);
+  EXPECT_EQ(err, "") << err;
+}
+
+TEST(ConsistencyOracle, RejectsOutOfSupportValue) {
+  ProgramBuilder b(1, 1);
+  b.step().thread(0, Instr::rand_below(0, 4));
+  Program p = b.build();
+  auto r = Interpreter(p).run({}, apex::Rng(1));
+  r.produced[0][0] = 99;  // impossible draw
+  r.memory[0] = 99;
+  const std::string err =
+      check_execution_consistency(p, {0}, r.produced, r.memory);
+  EXPECT_NE(err.find("not a valid result"), std::string::npos) << err;
+}
+
+TEST(ConsistencyOracle, RejectsInconsistentDeterministicOp) {
+  // Copy chain where the relayed value silently changes: exactly the
+  // deterministic-scheme failure mode on nondeterministic programs.
+  const std::size_t n = 4, chain = 3;
+  Program p = make_consistency_probe(n, chain, 1000);
+  auto r = Interpreter(p).run({}, apex::Rng(5));
+  // Corrupt the copy at step 2 (c2 = copy(c1)) to a different value.
+  r.produced[2][1] += 1;
+  const std::string err = check_execution_consistency(
+      p, std::vector<Word>(p.nvars(), 0), r.produced, r.memory);
+  EXPECT_NE(err, "");
+}
+
+TEST(ConsistencyOracle, RejectsFinalMemoryMismatch) {
+  ProgramBuilder b(1, 2);
+  b.step().thread(0, Instr::constant(0, 5));
+  Program p = b.build();
+  auto r = Interpreter(p).run_deterministic({});
+  r.memory[0] = 6;
+  const std::string err =
+      check_execution_consistency(p, {0, 0}, r.produced, r.memory);
+  EXPECT_NE(err.find("final memory mismatch"), std::string::npos) << err;
+}
+
+}  // namespace
+}  // namespace apex::pram

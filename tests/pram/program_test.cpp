@@ -1,0 +1,178 @@
+#include "pram/program.h"
+
+#include <gtest/gtest.h>
+
+#include "pram/interp.h"
+#include "pram/workloads.h"
+#include "util/math.h"
+
+namespace apex::pram {
+namespace {
+
+TEST(ProgramBuilder, BuildsValidProgram) {
+  ProgramBuilder b(2, 4);
+  b.step().thread(0, Instr::constant(0, 5)).thread(1, Instr::constant(1, 7));
+  b.step().thread(0, Instr::add(2, 0, 1));
+  Program p = b.build();
+  EXPECT_EQ(p.nthreads(), 2u);
+  EXPECT_EQ(p.nvars(), 4u);
+  EXPECT_EQ(p.nsteps(), 2u);
+  EXPECT_FALSE(p.is_nondeterministic());
+}
+
+TEST(ProgramBuilder, DetectsNondeterminism) {
+  ProgramBuilder b(1, 1);
+  b.step().thread(0, Instr::rand_below(0, 10));
+  EXPECT_TRUE(b.build().is_nondeterministic());
+}
+
+TEST(ProgramBuilder, ThreadIndexValidated) {
+  ProgramBuilder b(2, 2);
+  auto s = b.step();
+  EXPECT_THROW(s.thread(2, Instr::nop()), std::invalid_argument);
+}
+
+TEST(Erew, ConcurrentReadRejected) {
+  ProgramBuilder b(2, 4);
+  b.step()
+      .thread(0, Instr::copy(1, 0))
+      .thread(1, Instr::copy(2, 0));  // both read v0
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(Erew, ConcurrentWriteRejected) {
+  ProgramBuilder b(2, 4);
+  b.step().thread(0, Instr::constant(0, 1)).thread(1, Instr::constant(0, 2));
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(Erew, ReadWriteSameVarAllowed) {
+  // Thread 0 reads v0 while thread 1 writes it: legal, because split
+  // execution performs all of a step's reads before any of its writes.
+  ProgramBuilder b(2, 4);
+  b.step().thread(0, Instr::copy(1, 0)).thread(1, Instr::constant(0, 2));
+  EXPECT_NO_THROW(b.build());
+}
+
+TEST(Erew, SelfIncrementAllowed) {
+  // z = z + y reads and writes z in one step: well-defined under split
+  // execution (the read sees the pre-step value).
+  ProgramBuilder b(1, 2);
+  b.step().thread(0, Instr::add(0, 0, 1));
+  EXPECT_NO_THROW(b.build());
+}
+
+TEST(Erew, SelfIncrementExecutesWithPreStepRead) {
+  ProgramBuilder b(1, 2);
+  b.step().thread(0, Instr::constant(1, 3));
+  b.step().thread(0, Instr::constant(0, 5));
+  b.step().thread(0, Instr::add(0, 0, 1));  // v0 <- v0 + v1
+  const auto r = Interpreter(b.build()).run_deterministic({});
+  EXPECT_EQ(r.memory[0], 8u);
+}
+
+TEST(Erew, SelectCountsAllThreeReads) {
+  ProgramBuilder b(2, 5);
+  b.step()
+      .thread(0, Instr::select(4, 0, 1, 2))
+      .thread(1, Instr::copy(3, 2));  // v2 read twice
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(Erew, VarOutOfRangeRejected) {
+  ProgramBuilder b(1, 2);
+  b.step().thread(0, Instr::copy(0, 5));
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(Erew, DisjointAccessAccepted) {
+  ProgramBuilder b(3, 6);
+  b.step()
+      .thread(0, Instr::add(3, 0, 1))
+      .thread(1, Instr::copy(4, 2))
+      .thread(2, Instr::constant(5, 9));
+  EXPECT_NO_THROW(b.build());
+}
+
+TEST(WriterTable, TracksLastWriter) {
+  ProgramBuilder b(2, 4);
+  b.step().thread(0, Instr::constant(0, 5));               // step 0 writes v0
+  b.step().thread(1, Instr::copy(1, 0));                   // step 1 reads v0
+  b.step().thread(0, Instr::constant(0, 6));               // step 2 rewrites v0
+  b.step().thread(1, Instr::add(2, 0, 1));                 // step 3 reads v0, v1
+  Program p = b.build();
+
+  EXPECT_EQ(p.writers(1, 1).x, 0u);        // v0 written at step 0
+  EXPECT_EQ(p.writers(3, 1).x, 2u);        // v0 rewritten at step 2
+  EXPECT_EQ(p.writers(3, 1).y, 1u);        // v1 written at step 1
+  EXPECT_EQ(p.last_writer_before(1, 3), kInitial);  // v3 never written
+}
+
+TEST(WriterTable, InitialValuesHaveStampZero) {
+  ProgramBuilder b(1, 2);
+  b.step().thread(0, Instr::copy(1, 0));  // reads v0's initial value
+  Program p = b.build();
+  EXPECT_EQ(p.writers(0, 0).x, kInitial);
+  EXPECT_EQ(stamp_of_writer(kInitial), 0u);
+  EXPECT_EQ(stamp_of_writer(0), 1u);
+  EXPECT_EQ(stamp_of_step(4), 5u);
+}
+
+TEST(Program, ToStringListsInstructions) {
+  ProgramBuilder b(2, 3);
+  b.step().thread(0, Instr::add(2, 0, 1));
+  const std::string s = b.build().to_string();
+  EXPECT_NE(s.find("add"), std::string::npos);
+  EXPECT_NE(s.find("T0"), std::string::npos);
+}
+
+TEST(Program, RejectsDegenerateShapes) {
+  EXPECT_THROW(Program(0, 1, {}), std::invalid_argument);
+  EXPECT_THROW(Program(1, 0, {}), std::invalid_argument);
+  std::vector<Step> bad_width{Step{{Instr::nop(), Instr::nop()}}};
+  EXPECT_THROW(Program(1, 1, bad_width), std::invalid_argument);
+}
+
+// --- Workloads are EREW-valid and have the expected shapes -----------------
+
+TEST(Workloads, ReductionShapeAndValidity) {
+  for (std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
+    Program p = make_reduction(n);
+    EXPECT_EQ(p.nthreads(), n);
+    EXPECT_EQ(p.nsteps(), 2 * static_cast<std::size_t>(lg(n)));
+    EXPECT_FALSE(p.is_nondeterministic());
+  }
+  EXPECT_THROW(make_reduction(3), std::invalid_argument);
+  EXPECT_THROW(make_reduction(1), std::invalid_argument);
+}
+
+TEST(Workloads, LubyShape) {
+  Program p = make_luby_cycle_round(8, 100);
+  EXPECT_EQ(p.nthreads(), 8u);
+  EXPECT_TRUE(p.is_nondeterministic());
+  EXPECT_THROW(make_luby_cycle_round(2, 10), std::invalid_argument);
+}
+
+TEST(Workloads, LeaderElectionShape) {
+  Program p = make_leader_election(8, 1000);
+  EXPECT_TRUE(p.is_nondeterministic());
+  EXPECT_THROW(make_leader_election(6, 10), std::invalid_argument);
+}
+
+TEST(Workloads, ConsistencyProbeShape) {
+  Program p = make_consistency_probe(4, 6, 100);
+  EXPECT_TRUE(p.is_nondeterministic());
+  EXPECT_EQ(probe_flag_count(6), 6u);
+  EXPECT_THROW(make_consistency_probe(1, 3, 10), std::invalid_argument);
+  EXPECT_THROW(make_consistency_probe(4, 0, 10), std::invalid_argument);
+}
+
+TEST(Workloads, CoinMatrixShape) {
+  Program p = make_coin_matrix(4, 3, 0.5);
+  EXPECT_EQ(p.nsteps(), 3u);
+  EXPECT_EQ(p.nvars(), 12u);
+  EXPECT_TRUE(p.is_nondeterministic());
+}
+
+}  // namespace
+}  // namespace apex::pram

@@ -1,0 +1,167 @@
+// Workload-library tests: every canonical program builds under the EREW
+// validator and computes the right thing on the synchronous reference
+// interpreter (the asynchronous-executor side is covered in tests/exec).
+#include "pram/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "pram/interp.h"
+
+namespace apex::pram {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Prefix sum
+// ---------------------------------------------------------------------------
+
+class PrefixSumSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrefixSumSweep, MatchesSequentialScan) {
+  const std::size_t n = GetParam();
+  Program p = make_prefix_sum(n);
+  std::vector<Word> init(p.nvars(), 0);
+  for (std::size_t i = 0; i < n; ++i) init[i] = 7 * i + 3;
+  const auto r = Interpreter(p).run_deterministic(init);
+  Word run = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    run += 7 * i + 3;
+    EXPECT_EQ(r.memory[prefix_sum_var(n, i)], run) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrefixSumSweep,
+                         ::testing::Values<std::size_t>(2, 4, 8, 16, 32, 64));
+
+TEST(PrefixSum, SingleElementEdgeBehaviour) {
+  // n=2 is the smallest legal size; element 0 is untouched.
+  Program p = make_prefix_sum(2);
+  const auto r = Interpreter(p).run_deterministic({5, 11});
+  EXPECT_EQ(r.memory[prefix_sum_var(2, 0)], 5u);
+  EXPECT_EQ(r.memory[prefix_sum_var(2, 1)], 16u);
+}
+
+TEST(PrefixSum, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(make_prefix_sum(6), std::invalid_argument);
+  EXPECT_THROW(make_prefix_sum(1), std::invalid_argument);
+}
+
+TEST(PrefixSum, StepCountIsTwoLogN) {
+  EXPECT_EQ(make_prefix_sum(16).nsteps(), 2u * 4);
+  EXPECT_EQ(make_prefix_sum(64).nsteps(), 2u * 6);
+}
+
+// ---------------------------------------------------------------------------
+// Odd-even transposition sort
+// ---------------------------------------------------------------------------
+
+class SortSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SortSweep, SortsAdversarialPatterns) {
+  const std::size_t n = GetParam();
+  Program p = make_odd_even_sort(n);
+  // Reverse order, organ pipe, all-equal, and a pseudo-random pattern.
+  std::vector<std::vector<Word>> patterns;
+  std::vector<Word> rev(n), pipe(n), eq(n, 9), rnd(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rev[i] = n - i;
+    pipe[i] = std::min(i, n - 1 - i);
+    rnd[i] = (i * 2654435761u) % 1000;
+  }
+  patterns = {rev, pipe, eq, rnd};
+  for (const auto& pat : patterns) {
+    std::vector<Word> init(p.nvars(), 0);
+    std::copy(pat.begin(), pat.end(), init.begin());
+    const auto r = Interpreter(p).run_deterministic(init);
+    std::vector<Word> expect = pat;
+    std::sort(expect.begin(), expect.end());
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(r.memory[sort_var(n, i)], expect[i]) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortSweep,
+                         ::testing::Values<std::size_t>(2, 4, 6, 8, 16, 32));
+
+TEST(Sort, RejectsOddSizes) {
+  EXPECT_THROW(make_odd_even_sort(5), std::invalid_argument);
+  EXPECT_THROW(make_odd_even_sort(0), std::invalid_argument);
+}
+
+TEST(Sort, IsStableOnPermutationMultiset) {
+  // The output must be a permutation of the input (no value invented/lost).
+  const std::size_t n = 8;
+  Program p = make_odd_even_sort(n);
+  std::vector<Word> init(p.nvars(), 0);
+  const std::vector<Word> in = {3, 3, 1, 9, 9, 9, 0, 1};
+  std::copy(in.begin(), in.end(), init.begin());
+  const auto r = Interpreter(p).run_deterministic(init);
+  std::vector<Word> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = r.memory[sort_var(n, i)];
+  std::vector<Word> a = in, b = out;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Ring coloring
+// ---------------------------------------------------------------------------
+
+TEST(RingColoring, FlagsConsistentWithColorsOnEveryExecution) {
+  const std::size_t n = 12;
+  Program p = make_ring_coloring(n, 3);
+  EXPECT_TRUE(p.is_nondeterministic());
+  Interpreter it(p);
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const auto r = it.run({}, apex::Rng(seed));
+    for (std::size_t i = 0; i < n; ++i) {
+      const Word ci = r.memory[ring_color_var(n, i)];
+      const Word cn = r.memory[ring_color_var(n, (i + 1) % n)];
+      EXPECT_LT(ci, 3u);
+      EXPECT_EQ(r.memory[ring_conflict_var(n, i)], ci == cn ? 1u : 0u)
+          << "seed=" << seed << " node " << i;
+    }
+  }
+}
+
+TEST(RingColoring, PaletteValidated) {
+  EXPECT_THROW(make_ring_coloring(2, 3), std::invalid_argument);
+  EXPECT_THROW(make_ring_coloring(8, 1), std::invalid_argument);
+}
+
+TEST(RingColoring, LargePaletteRarelyConflicts) {
+  const std::size_t n = 8;
+  Program p = make_ring_coloring(n, 1 << 20);
+  Interpreter it(p);
+  int conflicts = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto r = it.run({}, apex::Rng(seed));
+    for (std::size_t i = 0; i < n; ++i)
+      conflicts += static_cast<int>(r.memory[ring_conflict_var(n, i)]);
+  }
+  EXPECT_EQ(conflicts, 0);  // ~2^-20 per edge; 160 edges
+}
+
+// ---------------------------------------------------------------------------
+// Cross-workload sanity
+// ---------------------------------------------------------------------------
+
+TEST(Workloads, DeterministicKernelsAreDeterministic) {
+  EXPECT_FALSE(make_prefix_sum(8).is_nondeterministic());
+  EXPECT_FALSE(make_odd_even_sort(8).is_nondeterministic());
+  EXPECT_FALSE(make_reduction(8).is_nondeterministic());
+}
+
+TEST(Workloads, NondetKernelsAreNondeterministic) {
+  EXPECT_TRUE(make_ring_coloring(8, 4).is_nondeterministic());
+  EXPECT_TRUE(make_luby_cycle_round(8, 100).is_nondeterministic());
+  EXPECT_TRUE(make_leader_election(8, 100).is_nondeterministic());
+  EXPECT_TRUE(make_coin_matrix(4, 2, 0.5).is_nondeterministic());
+}
+
+}  // namespace
+}  // namespace apex::pram

@@ -1,0 +1,161 @@
+#include "sim/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace apex::sim {
+namespace {
+
+TEST(RoundRobin, CyclesThroughAll) {
+  RoundRobinSchedule s(3);
+  std::vector<std::size_t> got;
+  for (std::uint64_t t = 0; t < 6; ++t) got.push_back(s.next(t));
+  EXPECT_EQ(got, (std::vector<std::size_t>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(UniformRandom, CoversAllProcsFairly) {
+  const std::size_t n = 8;
+  UniformRandomSchedule s(n, apex::Rng(5));
+  std::vector<int> counts(n, 0);
+  const int kSteps = 80000;
+  for (int t = 0; t < kSteps; ++t) ++counts[s.next(t)];
+  for (auto c : counts)
+    EXPECT_NEAR(static_cast<double>(c), kSteps / 8.0, kSteps / 8.0 * 0.1);
+}
+
+TEST(Rate, RespectsRatios) {
+  RateSchedule s({3.0, 1.0}, apex::Rng(9));
+  int fast = 0;
+  const int kSteps = 40000;
+  for (int t = 0; t < kSteps; ++t) fast += (s.next(t) == 0);
+  EXPECT_NEAR(static_cast<double>(fast) / kSteps, 0.75, 0.02);
+}
+
+TEST(Rate, PowerLawSkews) {
+  auto s = RateSchedule::power_law(16, 1.2, apex::Rng(2));
+  std::vector<int> counts(16, 0);
+  for (int t = 0; t < 50000; ++t) ++counts[s->next(t)];
+  EXPECT_GT(counts[0], counts[8]);
+  EXPECT_GT(counts[0], 4 * counts[15]);
+}
+
+TEST(Rate, RejectsNonPositive) {
+  EXPECT_THROW(RateSchedule({1.0, 0.0}, apex::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(RateSchedule({1.0, -2.0}, apex::Rng(1)), std::invalid_argument);
+}
+
+TEST(Sleeper, SleepersOnlyGrantedInBursts) {
+  const std::size_t n = 4;
+  SleeperSchedule s(n, {0}, /*period=*/100, /*burst=*/10, apex::Rng(3));
+  for (std::uint64_t t = 0; t < 100; ++t) {
+    // Before the first full period, sleeper 0 never runs.
+    EXPECT_NE(s.next(t), 0u) << "t=" << t;
+  }
+  bool sleeper_ran = false;
+  for (std::uint64_t t = 100; t < 110; ++t) sleeper_ran |= (s.next(t) == 0);
+  EXPECT_TRUE(sleeper_ran);
+  for (std::uint64_t t = 110; t < 200; ++t) EXPECT_NE(s.next(t), 0u);
+}
+
+TEST(Sleeper, ValidatesArgs) {
+  EXPECT_THROW(SleeperSchedule(2, {0, 1}, 10, 5, apex::Rng(1)),
+               std::invalid_argument);  // everyone asleep
+  EXPECT_THROW(SleeperSchedule(2, {5}, 10, 5, apex::Rng(1)),
+               std::invalid_argument);  // out of range
+  EXPECT_THROW(SleeperSchedule(2, {0}, 10, 0, apex::Rng(1)),
+               std::invalid_argument);  // zero burst
+  EXPECT_THROW(SleeperSchedule(2, {0}, 10, 20, apex::Rng(1)),
+               std::invalid_argument);  // burst > period
+}
+
+TEST(Crash, CrashedProcNeverGrantedAfterDeadline) {
+  const std::size_t n = 4;
+  std::vector<std::uint64_t> crash(n, ~0ULL);
+  crash[2] = 50;
+  CrashSchedule s(n, crash, apex::Rng(8));
+  bool before = false;
+  for (std::uint64_t t = 0; t < 50; ++t) before |= (s.next(t) == 2);
+  EXPECT_TRUE(before);
+  for (std::uint64_t t = 50; t < 5000; ++t) EXPECT_NE(s.next(t), 2u);
+}
+
+TEST(Crash, RequiresSurvivor) {
+  EXPECT_THROW(CrashSchedule(2, {10, 20}, apex::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(Scripted, PlaysScriptThenRoundRobin) {
+  ScriptedSchedule s(3, {2, 2, 0});
+  EXPECT_EQ(s.next(0), 2u);
+  EXPECT_EQ(s.next(1), 2u);
+  EXPECT_EQ(s.next(2), 0u);
+  EXPECT_EQ(s.next(3), 0u);  // fallback: t mod 3
+  EXPECT_EQ(s.next(4), 1u);
+}
+
+TEST(Scripted, ValidatesProcRange) {
+  EXPECT_THROW(ScriptedSchedule(2, {0, 5}), std::invalid_argument);
+}
+
+TEST(Burst, ProducesRuns) {
+  BurstSchedule s(4, 0.9, apex::Rng(12));
+  // Expected run length 10; over many draws we should see runs >= 5.
+  std::size_t prev = s.next(0);
+  int run = 1, max_run = 1;
+  for (std::uint64_t t = 1; t < 5000; ++t) {
+    const auto p = s.next(t);
+    run = (p == prev) ? run + 1 : 1;
+    max_run = std::max(max_run, run);
+    prev = p;
+  }
+  EXPECT_GE(max_run, 10);
+}
+
+TEST(Burst, ValidatesProb) {
+  EXPECT_THROW(BurstSchedule(2, 1.0, apex::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(BurstSchedule(2, -0.1, apex::Rng(1)), std::invalid_argument);
+}
+
+TEST(Factory, BuildsEveryKind) {
+  for (auto kind : all_schedule_kinds()) {
+    auto s = make_schedule(kind, 16, apex::Rng(4));
+    ASSERT_NE(s, nullptr) << schedule_kind_name(kind);
+    EXPECT_EQ(s->nprocs(), 16u);
+    EXPECT_TRUE(s->is_oblivious());
+    for (std::uint64_t t = 0; t < 100; ++t) EXPECT_LT(s->next(t), 16u);
+  }
+}
+
+TEST(Factory, NamesAreDistinct) {
+  std::map<std::string, int> seen;
+  for (auto kind : all_schedule_kinds()) ++seen[schedule_kind_name(kind)];
+  EXPECT_EQ(seen.size(), all_schedule_kinds().size());
+}
+
+TEST(Schedule, ZeroProcsRejected) {
+  EXPECT_THROW(RoundRobinSchedule(0), std::invalid_argument);
+}
+
+TEST(Callback, DelegatesAndDeclaresNonOblivious) {
+  int calls = 0;
+  CallbackSchedule s(4, [&](std::uint64_t t) {
+    ++calls;
+    return static_cast<std::size_t>((t * 3) % 4);
+  });
+  EXPECT_FALSE(s.is_oblivious());
+  EXPECT_EQ(s.next(0), 0u);
+  EXPECT_EQ(s.next(1), 3u);
+  EXPECT_EQ(s.next(2), 2u);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Callback, ValidatesCallbackAndRange) {
+  EXPECT_THROW(CallbackSchedule(2, nullptr), std::invalid_argument);
+  CallbackSchedule bad(2, [](std::uint64_t) { return std::size_t{7}; });
+  EXPECT_THROW(bad.next(0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace apex::sim

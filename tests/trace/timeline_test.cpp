@@ -1,0 +1,137 @@
+// Trace-rendering tests: the ASCII timeline and bin heatmap are consumed by
+// humans, so their exact encoding is pinned here.
+#include "trace/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "agreement/testbed.h"
+#include "sim/simulator.h"
+
+namespace apex::trace {
+namespace {
+
+TEST(Timeline, RendersSpansInBuckets) {
+  Timeline tl({"P0", "P1"}, 0, 100, 10);
+  tl.add({0, 0, 50, 'A'});    // first half of lane 0
+  tl.add({1, 50, 100, 'B'});  // second half of lane 1
+  const std::string out = tl.render();
+  EXPECT_NE(out.find("P0 AAAAA     "), std::string::npos) << out;
+  EXPECT_NE(out.find("P1      BBBBB"), std::string::npos) << out;
+}
+
+TEST(Timeline, LaterSpansOverdraw) {
+  Timeline tl({"L"}, 0, 10, 10);
+  tl.add({0, 0, 10, 'x'});
+  tl.add({0, 4, 6, 'Y'});
+  const std::string out = tl.render();
+  EXPECT_NE(out.find("xxxxYYxxxx"), std::string::npos) << out;
+}
+
+TEST(Timeline, RulersDrawnOnEmptyBuckets) {
+  Timeline tl({"L"}, 0, 10, 10);
+  tl.add({0, 0, 3, 'c'});
+  tl.add_ruler(2);  // covered by span -> span wins
+  tl.add_ruler(5);  // empty -> ruler
+  const std::string out = tl.render();
+  EXPECT_NE(out.find("ccc  |"), std::string::npos) << out;
+}
+
+TEST(Timeline, SpansOutsideWindowIgnored) {
+  Timeline tl({"L"}, 100, 200, 10);
+  tl.add({0, 0, 50, 'x'});
+  tl.add({0, 300, 400, 'y'});
+  const std::string out = tl.render();
+  EXPECT_EQ(out.find('x'), std::string::npos);
+  EXPECT_EQ(out.find('y'), std::string::npos);
+}
+
+TEST(Timeline, Validates) {
+  EXPECT_THROW(Timeline({"L"}, 10, 10, 10), std::invalid_argument);
+  EXPECT_THROW(Timeline({"L"}, 0, 10, 0), std::invalid_argument);
+  Timeline tl({"L"}, 0, 10, 10);
+  EXPECT_THROW(tl.add({5, 0, 1, 'x'}), std::out_of_range);
+}
+
+TEST(CyclesTimeline, TagsFocusOtherAndStale) {
+  std::vector<agreement::CycleRecord> recs;
+  agreement::CycleRecord a;  // focus bin, current phase
+  a.proc = 0;
+  a.bin = 3;
+  a.phase = 2;
+  a.s_time = 0;
+  a.d_time = 10;
+  a.f_time = 20;
+  agreement::CycleRecord b;  // other bin
+  b.proc = 1;
+  b.bin = 1;
+  b.phase = 2;
+  b.s_time = 20;
+  b.d_time = 30;
+  b.f_time = 40;
+  agreement::CycleRecord c;  // stale phase on focus bin -> clobber
+  c.proc = 1;
+  c.bin = 3;
+  c.phase = 1;
+  c.s_time = 60;
+  c.d_time = 70;
+  c.f_time = 80;
+  recs = {a, b, c};
+  const auto tl = cycles_timeline(recs, 2, /*focus=*/3, /*phase=*/2, 0, 80, 16);
+  const std::string out = tl.render();
+  EXPECT_NE(out.find('S'), std::string::npos) << out;
+  EXPECT_NE(out.find('W'), std::string::npos) << out;
+  EXPECT_NE(out.find('.'), std::string::npos) << out;
+  EXPECT_NE(out.find('!'), std::string::npos) << out;
+}
+
+TEST(BinHeatmap, EncodesDistinctValuesAsLetters) {
+  sim::Simulator sim(sim::SimConfig{1, 0, 1},
+                     std::make_unique<sim::RoundRobinSchedule>(1));
+  agreement::BinArray bins(sim.memory(), 2, 8);
+  // bin 0: cells 0..3 value 7, cells 4,5 value 9 (conflict), 6..7 empty.
+  for (std::size_t j = 0; j < 4; ++j)
+    sim.memory().at(bins.addr(0, j)) = sim::Cell{7, 1};
+  for (std::size_t j = 4; j < 6; ++j)
+    sim.memory().at(bins.addr(0, j)) = sim::Cell{9, 1};
+  EXPECT_EQ(bin_row(bins, 0, 1), "aaaa|bb..");
+  // bin 1: untouched (stamp 0) -> all empty.
+  EXPECT_EQ(bin_row(bins, 1, 1), "....|....");
+  const std::string hm = bin_heatmap(bins, 1);
+  EXPECT_NE(hm.find("bin0"), std::string::npos);
+  EXPECT_NE(hm.find("bin1"), std::string::npos);
+}
+
+TEST(BinHeatmap, UnanimousBinIsOneLetter) {
+  sim::Simulator sim(sim::SimConfig{1, 0, 1},
+                     std::make_unique<sim::RoundRobinSchedule>(1));
+  agreement::BinArray bins(sim.memory(), 1, 4);
+  for (std::size_t j = 0; j < 4; ++j)
+    sim.memory().at(bins.addr(0, j)) = sim::Cell{42, 5};
+  EXPECT_EQ(bin_row(bins, 0, 5), "aa|aa");
+}
+
+TEST(EndToEnd, TimelineFromLiveAgreementRun) {
+  agreement::TestbedConfig cfg;
+  cfg.n = 8;
+  cfg.seed = 3;
+  agreement::AgreementTestbed tb(cfg, agreement::uniform_task(16),
+                                 agreement::uniform_support(16));
+  struct Rec final : agreement::AgreementObserver {
+    std::vector<agreement::CycleRecord> records;
+    void on_cycle(const agreement::CycleRecord& r) override {
+      records.push_back(r);
+    }
+  } rec;
+  tb.attach(&rec);
+  tb.run_until_agreement(1'000'000);
+  ASSERT_FALSE(rec.records.empty());
+  const auto tl = cycles_timeline(rec.records, 8, 0, 1, 0,
+                                  tb.simulator().total_work(), 64);
+  const std::string out = tl.render();
+  // All 8 lanes present and someone worked on bin 0 in phase 1.
+  EXPECT_NE(out.find("P7"), std::string::npos);
+  EXPECT_NE(out.find('W'), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace apex::trace

@@ -1,0 +1,82 @@
+#include "util/math.h"
+
+#include <gtest/gtest.h>
+
+namespace apex {
+namespace {
+
+TEST(Math, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(floor_log2(1ULL << 63), 63u);
+}
+
+TEST(Math, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Math, LgNeverZero) {
+  EXPECT_EQ(lg(0), 1u);
+  EXPECT_EQ(lg(1), 1u);
+  EXPECT_EQ(lg(2), 1u);
+  EXPECT_EQ(lg(1024), 10u);
+}
+
+TEST(Math, LgLg) {
+  EXPECT_EQ(lglg(2), 1u);
+  EXPECT_EQ(lglg(4), 1u);
+  EXPECT_EQ(lglg(16), 2u);
+  EXPECT_EQ(lglg(256), 3u);
+  EXPECT_EQ(lglg(1ULL << 16), 4u);
+  EXPECT_GE(lglg(0), 1u);
+}
+
+TEST(Math, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 40));
+  EXPECT_FALSE(is_pow2((1ULL << 40) + 1));
+}
+
+TEST(Math, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+  EXPECT_EQ(ceil_div(1, 100), 1u);
+}
+
+TEST(Math, HeadlineBound) {
+  // n lg n lglg n at n = 1024: 1024 * 10 * ceil(log2(10))=4 -> 40960.
+  EXPECT_DOUBLE_EQ(n_logn_loglogn(1024), 1024.0 * 10.0 * 4.0);
+  EXPECT_DOUBLE_EQ(n_logn(1024), 1024.0 * 10.0);
+}
+
+TEST(Math, BoundsAreMonotoneInN) {
+  double prev = 0;
+  for (std::size_t n = 2; n <= 1 << 14; n *= 2) {
+    const double v = n_logn_loglogn(n);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace apex

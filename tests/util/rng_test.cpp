@@ -1,0 +1,127 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace apex {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng r(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(13);
+  double sum = 0.0;
+  const int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Rng, CoinFrequencyMatchesP) {
+  Rng r(17);
+  const int kN = 20000;
+  int heads = 0;
+  for (int i = 0; i < kN; ++i) heads += r.coin(0.3);
+  EXPECT_NEAR(static_cast<double>(heads) / kN, 0.3, 0.02);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(23);
+  const std::uint64_t kBuckets = 10;
+  std::vector<int> counts(kBuckets, 0);
+  const int kN = 50000;
+  for (int i = 0; i < kN; ++i) ++counts[r.below(kBuckets)];
+  for (auto c : counts)
+    EXPECT_NEAR(static_cast<double>(c), kN / 10.0, kN / 10.0 * 0.15);
+}
+
+TEST(Rng, ChildStreamsIndependentAndDeterministic) {
+  Rng parent(99);
+  Rng c1 = parent.child(1);
+  Rng c2 = parent.child(2);
+  Rng c1_again = parent.child(1);
+  EXPECT_EQ(c1.next(), c1_again.next());
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (c1.next() == c2.next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ChildDoesNotPerturbParent) {
+  Rng a(5), b(5);
+  (void)a.child(3);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SeedTree, StreamsAreDomainSeparated) {
+  SeedTree t{123};
+  std::set<std::uint64_t> firsts;
+  firsts.insert(t.schedule().next());
+  firsts.insert(t.workload().next());
+  for (std::size_t i = 0; i < 16; ++i) firsts.insert(t.processor(i).next());
+  EXPECT_EQ(firsts.size(), 18u);  // all distinct
+}
+
+TEST(SeedTree, ScheduleIndependentOfProcessorStreams) {
+  // Drawing from processor streams must not change the schedule stream:
+  // this is the structural form of the oblivious-adversary requirement.
+  SeedTree t{7};
+  Rng s1 = t.schedule();
+  for (std::size_t i = 0; i < 8; ++i) {
+    Rng p = t.processor(i);
+    for (int k = 0; k < 100; ++k) (void)p.next();
+  }
+  Rng s2 = t.schedule();
+  for (int k = 0; k < 32; ++k) EXPECT_EQ(s1.next(), s2.next());
+}
+
+TEST(Mix64, DistinctInputsDistinctOutputs) {
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t a = 0; a < 30; ++a)
+    for (std::uint64_t b = 0; b < 30; ++b) outs.insert(mix64(a, b));
+  EXPECT_EQ(outs.size(), 900u);
+}
+
+}  // namespace
+}  // namespace apex

@@ -1,0 +1,160 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace apex {
+namespace {
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator a;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) a.add(x);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 15.0);
+}
+
+TEST(Accumulator, EmptyAndSingle) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.ci95(), 0.0);
+  a.add(7.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesCombined) {
+  Rng r(3);
+  Accumulator a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = r.uniform() * 10.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  Accumulator e2;
+  e2.merge(a);
+  EXPECT_EQ(e2.count(), 2u);
+  EXPECT_DOUBLE_EQ(e2.mean(), 2.0);
+}
+
+TEST(Quantile, Median) {
+  EXPECT_DOUBLE_EQ(quantile({3, 1, 2}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile({5}, 0.99), 5.0);
+}
+
+TEST(Quantile, Extremes) {
+  EXPECT_DOUBLE_EQ(quantile({9, 4, 7}, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile({9, 4, 7}, 1.0), 9.0);
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(ChiSquare, UniformSampleAccepted) {
+  Rng r(101);
+  const std::size_t k = 8;
+  std::vector<std::uint64_t> obs(k, 0);
+  for (int i = 0; i < 80000; ++i) ++obs[r.below(k)];
+  std::vector<double> probs(k, 1.0 / k);
+  const double stat = chi_square_stat(obs, probs);
+  const double p = chi_square_pvalue(stat, k - 1);
+  EXPECT_GT(p, 0.001);
+}
+
+TEST(ChiSquare, BiasedSampleRejected) {
+  // Claim 8's test in miniature: a distribution that does NOT match the
+  // expected probabilities must be flagged.
+  std::vector<std::uint64_t> obs = {9000, 1000};
+  std::vector<double> probs = {0.5, 0.5};
+  const double stat = chi_square_stat(obs, probs);
+  const double p = chi_square_pvalue(stat, 1);
+  EXPECT_LT(p, 1e-6);
+}
+
+TEST(ChiSquare, ZeroProbabilityBucket) {
+  std::vector<std::uint64_t> ok = {10, 0};
+  std::vector<double> probs = {1.0, 0.0};
+  EXPECT_DOUBLE_EQ(chi_square_stat(ok, probs), 0.0);
+  std::vector<std::uint64_t> bad = {10, 1};
+  EXPECT_TRUE(std::isinf(chi_square_stat(bad, probs)));
+  EXPECT_DOUBLE_EQ(chi_square_pvalue(chi_square_stat(bad, probs), 1), 0.0);
+}
+
+TEST(GammaQ, KnownValues) {
+  // Q(0.5, x) = erfc(sqrt(x)).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(gamma_q(0.5, x), std::erfc(std::sqrt(x)), 1e-10);
+  }
+  // Q(1, x) = exp(-x).
+  for (double x : {0.2, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(gamma_q(1.0, x), std::exp(-x), 1e-10);
+  }
+}
+
+TEST(ChiSquarePValue, MedianNearHalf) {
+  // The median of chi2 with k dof is approximately k(1-2/(9k))^3.
+  const std::size_t k = 10;
+  const double med = k * std::pow(1.0 - 2.0 / (9.0 * k), 3);
+  EXPECT_NEAR(chi_square_pvalue(med, k), 0.5, 0.02);
+}
+
+TEST(RatioFit, ConstantRatioIsFlat) {
+  std::vector<double> f = {10, 20, 40, 80};
+  std::vector<double> y;
+  for (double v : f) y.push_back(3.0 * v);
+  const auto fit = fit_ratio(y, f);
+  EXPECT_NEAR(fit.geometric_mean, 3.0, 1e-12);
+  EXPECT_NEAR(fit.spread, 1.0, 1e-12);
+}
+
+TEST(RatioFit, GrowingRatioHasSpread) {
+  std::vector<double> f = {10, 20, 40, 80};
+  std::vector<double> y = {10, 40, 160, 640};  // y ~ f^2
+  const auto fit = fit_ratio(y, f);
+  EXPECT_GT(fit.spread, 7.0);
+}
+
+TEST(LogLogSlope, RecoversDegree) {
+  std::vector<double> x = {16, 32, 64, 128, 256};
+  std::vector<double> lin, quad;
+  for (double v : x) {
+    lin.push_back(5.0 * v);
+    quad.push_back(0.1 * v * v);
+  }
+  EXPECT_NEAR(loglog_slope(x, lin), 1.0, 1e-9);
+  EXPECT_NEAR(loglog_slope(x, quad), 2.0, 1e-9);
+}
+
+TEST(LogLogSlope, QuasilinearBetweenOneAndTwo) {
+  std::vector<double> x, y;
+  for (double n = 64; n <= 65536; n *= 4) {
+    x.push_back(n);
+    y.push_back(n * std::log2(n));
+  }
+  const double s = loglog_slope(x, y);
+  EXPECT_GT(s, 1.0);
+  EXPECT_LT(s, 1.5);
+}
+
+}  // namespace
+}  // namespace apex

@@ -1,0 +1,55 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace apex {
+namespace {
+
+TEST(Table, AlignedOutputContainsAllCells) {
+  Table t({"n", "work", "ratio"});
+  t.row().cell(std::uint64_t{16}).cell(std::uint64_t{1234}).cell(1.75, 2);
+  t.row().cell(std::uint64_t{32}).cell(std::uint64_t{5678}).cell(1.80, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("n"), std::string::npos);
+  EXPECT_NE(s.find("1234"), std::string::npos);
+  EXPECT_NE(s.find("1.75"), std::string::npos);
+  EXPECT_NE(s.find("5678"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().cell("x").cell("y");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,y\n");
+}
+
+TEST(Table, RowCount) {
+  Table t({"h"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.row().cell(1);
+  t.row().cell(2);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(1.0 / 3.0, 4), "0.3333");
+}
+
+TEST(Table, MixedCellTypes) {
+  Table t({"i", "u", "s", "d"});
+  t.row().cell(-5).cell(std::size_t{7}).cell(std::string("str")).cell(0.5, 1);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "i,u,s,d\n-5,7,str,0.5\n");
+}
+
+}  // namespace
+}  // namespace apex

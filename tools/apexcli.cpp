@@ -1,0 +1,243 @@
+// apexcli — command-line driver for the APEX library.
+//
+// Lets a user run any piece of the reproduction without writing C++:
+//
+//   apexcli agree  [--n=64] [--sched=uniform] [--seed=1] [--beta=8]
+//       run standalone n-value agreement (Theorem 1 setting); print work,
+//       per-property status, and a bin heatmap.
+//
+//   apexcli exec   [--workload=luby] [--n=8] [--scheme=nondet] [--sched=...]
+//       run a canonical PRAM workload through the execution scheme and
+//       verify its invariants.  Workloads: luby, leader, ring, coins,
+//       probe, prefix, sort, reduction.
+//
+//   apexcli host   [--threads=4] [--seed=1]
+//       run bin-array agreement on real std::threads.
+//
+//   apexcli sched
+//       list the adversary schedule family.
+//
+// Exit code 0 = run completed and all checked invariants held.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/apex.h"
+
+using namespace apex;
+
+namespace {
+
+struct Args {
+  std::string cmd;
+  std::map<std::string, std::string> kv;
+
+  static Args parse(int argc, char** argv) {
+    Args a;
+    if (argc >= 2) a.cmd = argv[1];
+    for (int i = 2; i < argc; ++i) {
+      std::string s = argv[i];
+      if (s.rfind("--", 0) != 0) continue;
+      const auto eq = s.find('=');
+      if (eq == std::string::npos)
+        a.kv[s.substr(2)] = "1";
+      else
+        a.kv[s.substr(2, eq - 2)] = s.substr(eq + 1);
+    }
+    return a;
+  }
+
+  std::uint64_t u64(const char* key, std::uint64_t dflt) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? dflt : std::stoull(it->second);
+  }
+  std::string str(const char* key, const char* dflt) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? dflt : it->second;
+  }
+};
+
+sim::ScheduleKind parse_sched(const std::string& s) {
+  for (auto k : sim::all_schedule_kinds())
+    if (s == sim::schedule_kind_name(k)) return k;
+  std::fprintf(stderr, "unknown schedule '%s'; see `apexcli sched`\n",
+               s.c_str());
+  std::exit(2);
+}
+
+int cmd_agree(const Args& a) {
+  agreement::TestbedConfig cfg;
+  cfg.n = a.u64("n", 64);
+  cfg.beta = a.u64("beta", 8);
+  cfg.seed = a.u64("seed", 1);
+  cfg.schedule = parse_sched(a.str("sched", "uniform"));
+  agreement::AgreementTestbed tb(cfg, agreement::uniform_task(1 << 20),
+                                 agreement::uniform_support(1 << 20));
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(500.0 * n_logn_loglogn(cfg.n)) + 1'000'000;
+  const auto res = tb.run_until_agreement(budget);
+  const auto st = tb.checker().check(1);
+  std::printf("agreement: n=%zu sched=%s seed=%llu\n", cfg.n,
+              sim::schedule_kind_name(cfg.schedule),
+              static_cast<unsigned long long>(cfg.seed));
+  std::printf("  work          %llu (%.2f x n lg n lglg n)\n",
+              static_cast<unsigned long long>(res.work),
+              static_cast<double>(res.work) / n_logn_loglogn(cfg.n));
+  std::printf("  accessibility %s\n  uniqueness    %s\n  correctness   %s\n",
+              st.accessibility ? "yes" : "NO", st.uniqueness ? "yes" : "NO",
+              st.correctness ? "yes" : "NO");
+  if (cfg.n <= 16)
+    std::printf("\nbin heatmap (phase 1):\n%s",
+                trace::bin_heatmap(tb.bins(), 1).c_str());
+  return res.satisfied && st.all() ? 0 : 1;
+}
+
+int check_workload(const std::string& wl, std::size_t n,
+                   const exec::CheckedRun& chk) {
+  using namespace pram;
+  if (!chk.result.completed) {
+    std::printf("  did not complete within budget\n");
+    return 1;
+  }
+  if (!chk.consistency_error.empty()) {
+    std::printf("  INCONSISTENT: %s\n", chk.consistency_error.c_str());
+    return 1;
+  }
+  int bad = 0;
+  if (wl == "luby") {
+    for (std::size_t i = 0; i < n; ++i)
+      bad += chk.result.memory[luby_violation_var(n, i)] != 0;
+    std::printf("  MIS independence violations: %d\n", bad);
+  } else if (wl == "leader") {
+    std::size_t leaders = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      leaders += chk.result.memory[leader_flag_var(n, i)];
+    std::printf("  leaders elected: %zu\n", leaders);
+    bad += leaders < 1;
+  } else if (wl == "ring") {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Word ci = chk.result.memory[ring_color_var(n, i)];
+      const Word cn = chk.result.memory[ring_color_var(n, (i + 1) % n)];
+      bad += chk.result.memory[ring_conflict_var(n, i)] != (ci == cn ? 1u : 0u);
+    }
+    std::printf("  conflict-flag mismatches: %d\n", bad);
+  } else if (wl == "probe") {
+    for (std::size_t j = 0; j < probe_flag_count(8); ++j)
+      bad += chk.result.memory[probe_flag_var(n, 8, j)] != 1;
+    std::printf("  probe flag violations: %d\n", bad);
+  } else if (wl == "prefix") {
+    Word run = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      run += static_cast<Word>(i + 1);
+      bad += chk.result.memory[prefix_sum_var(n, i)] != run;
+    }
+    std::printf("  prefix-sum mismatches: %d\n", bad);
+  } else if (wl == "sort") {
+    for (std::size_t i = 0; i + 1 < n; ++i)
+      bad += chk.result.memory[sort_var(n, i)] >
+             chk.result.memory[sort_var(n, i + 1)];
+    std::printf("  sortedness violations: %d\n", bad);
+  }
+  return bad == 0 ? 0 : 1;
+}
+
+int cmd_exec(const Args& a) {
+  const std::string wl = a.str("workload", "luby");
+  const std::size_t n = a.u64("n", 8);
+  exec::ExecConfig cfg;
+  cfg.seed = a.u64("seed", 1);
+  cfg.schedule = parse_sched(a.str("sched", "uniform"));
+  const exec::Scheme scheme =
+      a.str("scheme", "nondet") == std::string("det")
+          ? exec::Scheme::kDeterministic
+          : exec::Scheme::kNondeterministic;
+
+  // Seeded-input helper for the deterministic kernels.
+  auto with_inputs = [&](const pram::Program& p, std::vector<pram::Word> in) {
+    pram::ProgramBuilder b(p.nthreads(), p.nvars());
+    b.step().all([&](std::size_t i) {
+      return i < in.size()
+                 ? pram::Instr::constant(static_cast<std::uint32_t>(i), in[i])
+                 : pram::Instr::nop();
+    });
+    for (std::size_t s = 0; s < p.nsteps(); ++s) {
+      auto sb = b.step();
+      for (std::size_t t = 0; t < p.nthreads(); ++t)
+        sb.thread(t, p.step(s).instrs[t]);
+    }
+    return b.build();
+  };
+
+  pram::Program p = [&]() -> pram::Program {
+    std::vector<pram::Word> iota(n);
+    std::iota(iota.begin(), iota.end(), 1);
+    std::vector<pram::Word> rev(iota.rbegin(), iota.rend());
+    if (wl == "luby") return pram::make_luby_cycle_round(n, 1 << 16);
+    if (wl == "leader") return pram::make_leader_election(n, 1 << 16);
+    if (wl == "ring") return pram::make_ring_coloring(n, 4);
+    if (wl == "coins") return pram::make_coin_matrix(n, 4, 0.5);
+    if (wl == "probe") return pram::make_consistency_probe(n, 8, 1 << 20);
+    if (wl == "prefix") return with_inputs(pram::make_prefix_sum(n), iota);
+    if (wl == "sort") return with_inputs(pram::make_odd_even_sort(n), rev);
+    if (wl == "reduction") return with_inputs(pram::make_reduction(n), iota);
+    std::fprintf(stderr, "unknown workload '%s'\n", wl.c_str());
+    std::exit(2);
+  }();
+
+  const auto chk = exec::run_checked(p, scheme, cfg);
+  std::printf("exec: workload=%s n=%zu steps=%zu scheme=%s sched=%s\n",
+              wl.c_str(), n, p.nsteps(), exec::scheme_name(scheme),
+              sim::schedule_kind_name(cfg.schedule));
+  std::printf("  completed=%s work=%llu incomplete_tasks=%llu "
+              "stamp_misses=%llu\n",
+              chk.result.completed ? "yes" : "NO",
+              static_cast<unsigned long long>(chk.result.total_work),
+              static_cast<unsigned long long>(chk.result.incomplete_tasks),
+              static_cast<unsigned long long>(chk.result.stamp_misses));
+  return check_workload(wl, n, chk);
+}
+
+int cmd_host(const Args& a) {
+  host::HostConfig cfg;
+  cfg.nthreads = a.u64("threads", 4);
+  cfg.seed = a.u64("seed", 1);
+  host::HostAgreement ha(cfg, [](std::size_t, apex::Rng& rng) {
+    return rng.below(1000);
+  });
+  const auto res = ha.run(20.0);
+  std::printf("host agreement: threads=%zu satisfied=%s phase=%u "
+              "cycles=%llu work=%llu wall=%.3fs\n",
+              cfg.nthreads, res.satisfied ? "yes" : "NO", res.phase,
+              static_cast<unsigned long long>(res.cycles),
+              static_cast<unsigned long long>(res.total_work),
+              res.wall_seconds);
+  return res.satisfied ? 0 : 1;
+}
+
+int cmd_sched() {
+  std::printf("adversary schedules:\n");
+  for (auto k : sim::all_schedule_kinds())
+    std::printf("  %s\n", sim::schedule_kind_name(k));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = Args::parse(argc, argv);
+  if (a.cmd == "agree") return cmd_agree(a);
+  if (a.cmd == "exec") return cmd_exec(a);
+  if (a.cmd == "host") return cmd_host(a);
+  if (a.cmd == "sched") return cmd_sched();
+  std::printf(
+      "usage: apexcli <agree|exec|host|sched> [--key=value ...]\n"
+      "  agree --n=64 --sched=uniform --seed=1 --beta=8\n"
+      "  exec  --workload=luby|leader|ring|coins|probe|prefix|sort|reduction\n"
+      "        --n=8 --scheme=nondet|det --sched=uniform --seed=1\n"
+      "  host  --threads=4 --seed=1\n"
+      "  sched\n");
+  return a.cmd.empty() ? 0 : 2;
+}
