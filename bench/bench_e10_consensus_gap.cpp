@@ -27,43 +27,54 @@ int main(int argc, char** argv) {
                 "predicts scan work ~ n^3 for n values, bin-array ~ n lg n "
                 "lglg n; their ratio grows ~ n^2/(lg n lglg n)");
 
+  const std::vector<std::size_t> ns = opt.n_sweep(8, 128, 256);
+
+  const auto groups =
+      opt.sweep(ns, opt.seeds, [](std::size_t n, int s) {
+        batch::TrialResult r;
+        const std::uint64_t seed = 10'000 + static_cast<std::uint64_t>(s);
+        {
+          ScanConfig cfg;
+          cfg.n = n;
+          cfg.seed = seed;
+          ScanConsensus sc(cfg, uniform_task(1 << 20));
+          const auto res = sc.run(4'000'000'000ULL);
+          if (!res.completed) {
+            r.ok = false;
+            return r;
+          }
+          r.sample("scan_work", static_cast<double>(res.total_work));
+        }
+        {
+          TestbedConfig cfg;
+          cfg.n = n;
+          cfg.seed = seed;
+          AgreementTestbed tb(cfg, uniform_task(1 << 20),
+                              uniform_support(1 << 20));
+          const auto res = tb.run_until_agreement(
+              static_cast<std::uint64_t>(500.0 * n_logn_loglogn(n)) +
+              1'000'000);
+          if (!res.satisfied) {
+            r.ok = false;
+            return r;
+          }
+          r.sample("bin_work", static_cast<double>(res.work));
+        }
+        return r;
+      });
+
   Table t({"n", "scan_work", "binarray_work", "ratio", "scan/n^3",
            "bin/nlglglg"});
   bool all_ok = true;
   std::vector<double> xs, scan_ys, bin_ys;
   double prev_ratio = 0.0;
 
-  for (std::size_t n : opt.n_sweep(8, 128, 256)) {
-    Accumulator scan_acc, bin_acc;
-    for (int s = 0; s < opt.seeds; ++s) {
-      const std::uint64_t seed = 10'000 + static_cast<std::uint64_t>(s);
-      {
-        ScanConfig cfg;
-        cfg.n = n;
-        cfg.seed = seed;
-        ScanConsensus sc(cfg, uniform_task(1 << 20));
-        const auto res = sc.run(4'000'000'000ULL);
-        if (!res.completed) {
-          all_ok = false;
-          continue;
-        }
-        scan_acc.add(static_cast<double>(res.total_work));
-      }
-      {
-        TestbedConfig cfg;
-        cfg.n = n;
-        cfg.seed = seed;
-        AgreementTestbed tb(cfg, uniform_task(1 << 20),
-                            uniform_support(1 << 20));
-        const auto res = tb.run_until_agreement(
-            static_cast<std::uint64_t>(500.0 * n_logn_loglogn(n)) + 1'000'000);
-        if (!res.satisfied) {
-          all_ok = false;
-          continue;
-        }
-        bin_acc.add(static_cast<double>(res.work));
-      }
-    }
+  for (std::size_t g = 0; g < ns.size(); ++g) {
+    const std::size_t n = ns[g];
+    const auto& group = groups[g];
+    if (!group.all_ok()) all_ok = false;
+    const auto& scan_acc = group.sample("scan_work");
+    const auto& bin_acc = group.sample("bin_work");
     if (scan_acc.count() == 0 || bin_acc.count() == 0) continue;
     xs.push_back(static_cast<double>(n));
     scan_ys.push_back(scan_acc.mean());

@@ -140,19 +140,27 @@ int main(int argc, char** argv) {
               saw5 ? "yes" : "no");
 
   // ---- Part B: the oblivious random family always converges ----------------
+  const std::vector<sim::ScheduleKind> family = {
+      sim::ScheduleKind::kUniformRandom, sim::ScheduleKind::kPowerLaw,
+      sim::ScheduleKind::kBurst};
+  const auto groups =
+      opt.sweep(family, std::max(4, opt.seeds),
+                [](sim::ScheduleKind kind, int s) {
+                  batch::TrialResult r;
+                  TestbedConfig cfg;
+                  cfg.n = 16;
+                  cfg.seed = 11'000 + static_cast<std::uint64_t>(s);
+                  cfg.schedule = kind;
+                  AgreementTestbed tb(cfg, uniform_task(64),
+                                      uniform_support(64));
+                  const auto res = tb.run_until_agreement(5'000'000);
+                  if (res.satisfied) r.count("converged");
+                  return r;
+                });
   int runs = 0, converged = 0;
-  for (auto kind : {sim::ScheduleKind::kUniformRandom,
-                    sim::ScheduleKind::kPowerLaw, sim::ScheduleKind::kBurst}) {
-    for (int s = 0; s < std::max(4, opt.seeds); ++s) {
-      TestbedConfig cfg;
-      cfg.n = 16;
-      cfg.seed = 11'000 + static_cast<std::uint64_t>(s);
-      cfg.schedule = kind;
-      AgreementTestbed tb(cfg, uniform_task(64), uniform_support(64));
-      const auto res = tb.run_until_agreement(5'000'000);
-      ++runs;
-      converged += res.satisfied;
-    }
+  for (const auto& group : groups) {
+    runs += static_cast<int>(group.trials());
+    converged += static_cast<int>(group.count("converged"));
   }
   std::printf("oblivious random family: %d/%d runs converged to a unanimous "
               "upper half\n", converged, runs);

@@ -11,6 +11,11 @@
 // observed phase, agreement throughput (cycles/s), and work.  Every
 // configuration must reach agreement — including oversubscribed ones
 // (more threads than cores), which maximize preemption asynchrony.
+//
+// Note on --jobs: each trial already spawns its own thread team, and the
+// wall-clock/throughput columns are timing measurements, so running trials
+// concurrently oversubscribes the machine and perturbs them.  Leave
+// --jobs=1 (the default) when the absolute numbers matter.
 #include "bench/common.h"
 #include "host/host_agreement.h"
 
@@ -23,44 +28,52 @@ int main(int argc, char** argv) {
                 "the protocol must reach a unanimous, accessible bin array "
                 "under genuine OS-scheduler asynchrony, at every thread count");
 
+  const std::vector<std::size_t> thread_counts = {2, 4, 8};
+  const int reps = opt.full ? 3 * opt.seeds : opt.seeds;
+
+  const auto groups =
+      opt.sweep(thread_counts, reps, [](std::size_t threads, int s) {
+        batch::TrialResult r;
+        HostConfig cfg;
+        cfg.nthreads = threads;
+        cfg.seed = 12'000 + static_cast<std::uint64_t>(s);
+        HostAgreement ha(cfg, [](std::size_t i, apex::Rng& rng) {
+          return 1000 * i + rng.below(1000);
+        });
+        const auto res = ha.run(20.0);
+        if (!res.satisfied) {
+          r.ok = false;
+          return r;
+        }
+        r.count("sat");
+        // Sanity: agreed values must be in bin i's support.
+        for (std::size_t i = 0; i < threads; ++i)
+          if (res.values[i] / 1000 != i) r.ok = false;
+        r.sample("phase", static_cast<double>(res.phase));
+        r.sample("cps",
+                 static_cast<double>(res.cycles) / res.wall_seconds / 1e6);
+        r.sample("work", static_cast<double>(res.total_work));
+        r.sample("wall", res.wall_seconds * 1000.0);
+        return r;
+      });
+
   Table t({"threads", "runs", "satisfied", "phase_mean", "Mcycles/s",
            "work_mean", "wall_ms_mean"});
   bool all_ok = true;
 
-  for (std::size_t threads : {2u, 4u, 8u}) {
-    int runs = 0, sat = 0;
-    double phase_sum = 0, cps_sum = 0, work_sum = 0, wall_sum = 0;
-    const int reps = opt.full ? 3 * opt.seeds : opt.seeds;
-    for (int s = 0; s < reps; ++s) {
-      HostConfig cfg;
-      cfg.nthreads = threads;
-      cfg.seed = 12'000 + static_cast<std::uint64_t>(s);
-      HostAgreement ha(cfg, [](std::size_t i, apex::Rng& rng) {
-        return 1000 * i + rng.below(1000);
-      });
-      const auto res = ha.run(20.0);
-      ++runs;
-      sat += res.satisfied;
-      if (!res.satisfied) {
-        all_ok = false;
-        continue;
-      }
-      // Sanity: agreed values must be in bin i's support.
-      for (std::size_t i = 0; i < threads; ++i)
-        if (res.values[i] / 1000 != i) all_ok = false;
-      phase_sum += res.phase;
-      cps_sum += static_cast<double>(res.cycles) / res.wall_seconds / 1e6;
-      work_sum += static_cast<double>(res.total_work);
-      wall_sum += res.wall_seconds * 1000.0;
-    }
+  for (std::size_t g = 0; g < thread_counts.size(); ++g) {
+    const auto& group = groups[g];
+    if (!group.all_ok()) all_ok = false;
+    const int runs = static_cast<int>(group.trials());
+    const int sat = static_cast<int>(group.count("sat"));
     t.row()
-        .cell(static_cast<std::uint64_t>(threads))
+        .cell(static_cast<std::uint64_t>(thread_counts[g]))
         .cell(runs)
         .cell(sat)
-        .cell(sat ? phase_sum / sat : 0.0, 1)
-        .cell(sat ? cps_sum / sat : 0.0, 2)
-        .cell(sat ? work_sum / sat : 0.0, 0)
-        .cell(sat ? wall_sum / sat : 0.0, 2);
+        .cell(sat ? group.sample("phase").mean() : 0.0, 1)
+        .cell(sat ? group.sample("cps").mean() : 0.0, 2)
+        .cell(sat ? group.sample("work").mean() : 0.0, 0)
+        .cell(sat ? group.sample("wall").mean() : 0.0, 2);
     if (sat != runs) all_ok = false;
   }
   opt.emit(t);

@@ -21,6 +21,15 @@
 using namespace apex;
 using namespace apex::exec;
 
+namespace {
+
+struct Point {
+  Scheme scheme;
+  sim::ScheduleKind kind;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
   bench::banner("E13: deterministic baseline vs the paper's scheme on a "
@@ -33,42 +42,52 @@ int main(int argc, char** argv) {
   pram::Program p = pram::make_consistency_probe(n, chain, 1 << 20);
   const int seeds = opt.full ? 4 * opt.seeds : 2 * opt.seeds;
 
+  std::vector<Point> grid;
+  for (Scheme scheme : {Scheme::kDeterministic, Scheme::kNondeterministic})
+    for (auto kind : {sim::ScheduleKind::kSleeper, sim::ScheduleKind::kBurst,
+                      sim::ScheduleKind::kUniformRandom})
+      grid.push_back({scheme, kind});
+
+  const auto groups =
+      opt.sweep(grid, seeds, [&p, n, chain](const Point& pt, int s) {
+        batch::TrialResult r;
+        ExecConfig cfg;
+        cfg.seed = 13'000 + static_cast<std::uint64_t>(s);
+        cfg.schedule = pt.kind;
+        const auto chk = run_checked(p, pt.scheme, cfg);
+        if (!chk.result.completed) return r;
+        r.count("completed");
+        bool bad = !chk.consistency_error.empty();
+        for (std::size_t j = 0; j < pram::probe_flag_count(chain); ++j)
+          bad |= (chk.result.memory[pram::probe_flag_var(n, chain, j)] != 1u);
+        if (bad) r.count("violations");
+        return r;
+      });
+
   Table t({"scheme", "sched", "runs", "completed", "violations", "rate%"});
   int det_violations = 0, det_runs = 0;
   int nondet_violations = 0, nondet_runs = 0;
 
-  for (Scheme scheme : {Scheme::kDeterministic, Scheme::kNondeterministic}) {
-    for (auto kind : {sim::ScheduleKind::kSleeper, sim::ScheduleKind::kBurst,
-                      sim::ScheduleKind::kUniformRandom}) {
-      int runs = 0, completed = 0, violations = 0;
-      for (int s = 0; s < seeds; ++s) {
-        ExecConfig cfg;
-        cfg.seed = 13'000 + static_cast<std::uint64_t>(s);
-        cfg.schedule = kind;
-        const auto chk = run_checked(p, scheme, cfg);
-        ++runs;
-        if (!chk.result.completed) continue;
-        ++completed;
-        bool bad = !chk.consistency_error.empty();
-        for (std::size_t j = 0; j < pram::probe_flag_count(chain); ++j)
-          bad |= (chk.result.memory[pram::probe_flag_var(n, chain, j)] != 1u);
-        violations += bad;
-        if (scheme == Scheme::kDeterministic) {
-          ++det_runs;
-          det_violations += bad;
-        } else {
-          ++nondet_runs;
-          nondet_violations += bad;
-        }
-      }
-      t.row()
-          .cell(scheme_name(scheme))
-          .cell(sim::schedule_kind_name(kind))
-          .cell(runs)
-          .cell(completed)
-          .cell(violations)
-          .cell(completed ? 100.0 * violations / completed : 0.0, 1);
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    const auto& pt = grid[g];
+    const auto& group = groups[g];
+    const int runs = static_cast<int>(group.trials());
+    const int completed = static_cast<int>(group.count("completed"));
+    const int violations = static_cast<int>(group.count("violations"));
+    if (pt.scheme == Scheme::kDeterministic) {
+      det_runs += completed;
+      det_violations += violations;
+    } else {
+      nondet_runs += completed;
+      nondet_violations += violations;
     }
+    t.row()
+        .cell(scheme_name(pt.scheme))
+        .cell(sim::schedule_kind_name(pt.kind))
+        .cell(runs)
+        .cell(completed)
+        .cell(violations)
+        .cell(completed ? 100.0 * violations / completed : 0.0, 1);
   }
   opt.emit(t);
 

@@ -113,47 +113,58 @@ int main(int argc, char** argv) {
   Table t({"adversary", "trials", "samples", "ones", "ones_rate"});
   bool all_ok = true;
 
-  // Adaptive adversary.
-  {
-    int ones = 0, samples = 0, done = 0;
-    for (int s = 0; s < trials; ++s) {
-      const auto r = run_adaptive(n, 14'000 + static_cast<std::uint64_t>(s));
-      if (!r) continue;
-      ++done;
-      ones += *r;
-      samples += static_cast<int>(n);
-    }
-    const double rate = samples ? static_cast<double>(ones) / samples : 0.0;
-    t.row().cell("adaptive").cell(done).cell(samples).cell(ones).cell(rate, 4);
-    if (done < trials / 2) all_ok = false;  // agreement itself must not die
-    // 480 fair samples have sd ~0.023; demand a bias several sd wide.
-    if (rate > 0.40) all_ok = false;
-  }
+  // Adversary grid: the adaptive scheduler, then the oblivious family.
+  const std::vector<std::optional<sim::ScheduleKind>> adversaries = {
+      std::nullopt, sim::ScheduleKind::kUniformRandom,
+      sim::ScheduleKind::kPowerLaw, sim::ScheduleKind::kBurst};
 
-  // Oblivious family: same coin, same n.
-  for (auto kind : {sim::ScheduleKind::kUniformRandom,
-                    sim::ScheduleKind::kPowerLaw, sim::ScheduleKind::kBurst}) {
-    int ones = 0, samples = 0, done = 0;
-    for (int s = 0; s < trials; ++s) {
-      TestbedConfig cfg;
-      cfg.n = n;
-      cfg.seed = 15'000 + static_cast<std::uint64_t>(s);
-      cfg.schedule = kind;
-      AgreementTestbed tb(cfg, coin_task(0.5), coin_support());
-      const auto res = tb.run_until_agreement(5'000'000);
-      if (!res.satisfied) continue;
-      ++done;
-      for (const auto& v : tb.checker().values(1)) ones += static_cast<int>(*v);
-      samples += static_cast<int>(n);
-    }
+  const auto groups = opt.sweep(
+      adversaries, trials,
+      [n](const std::optional<sim::ScheduleKind>& kind, int s) {
+        batch::TrialResult res;
+        if (!kind) {  // adaptive adversary
+          const auto r =
+              run_adaptive(n, 14'000 + static_cast<std::uint64_t>(s));
+          if (!r) return res;
+          res.count("done");
+          res.count("ones", *r);
+          res.count("samples", static_cast<double>(n));
+          return res;
+        }
+        TestbedConfig cfg;
+        cfg.n = n;
+        cfg.seed = 15'000 + static_cast<std::uint64_t>(s);
+        cfg.schedule = *kind;
+        AgreementTestbed tb(cfg, coin_task(0.5), coin_support());
+        const auto run = tb.run_until_agreement(5'000'000);
+        if (!run.satisfied) return res;
+        res.count("done");
+        for (const auto& v : tb.checker().values(1))
+          res.count("ones", static_cast<double>(*v));
+        res.count("samples", static_cast<double>(n));
+        return res;
+      });
+
+  for (std::size_t g = 0; g < adversaries.size(); ++g) {
+    const auto& group = groups[g];
+    const int done = static_cast<int>(group.count("done"));
+    const int samples = static_cast<int>(group.count("samples"));
+    const int ones = static_cast<int>(group.count("ones"));
     const double rate = samples ? static_cast<double>(ones) / samples : 0.0;
     t.row()
-        .cell(sim::schedule_kind_name(kind))
+        .cell(adversaries[g] ? sim::schedule_kind_name(*adversaries[g])
+                             : "adaptive")
         .cell(done)
         .cell(samples)
         .cell(ones)
         .cell(rate, 4);
-    if (rate < 0.4 || rate > 0.6) all_ok = false;
+    if (!adversaries[g]) {
+      if (done < trials / 2) all_ok = false;  // agreement itself must not die
+      // 480 fair samples have sd ~0.023; demand a bias several sd wide.
+      if (rate > 0.40) all_ok = false;
+    } else {
+      if (rate < 0.4 || rate > 0.6) all_ok = false;
+    }
   }
   opt.emit(t);
 

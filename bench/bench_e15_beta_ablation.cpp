@@ -27,15 +27,8 @@ using namespace apex::agreement;
 
 namespace {
 
-struct BetaStats {
-  int phases = 0;
-  int unfilled = 0;
-  int stab_fail = 0;
-  Accumulator work_per_phase;
-};
-
 void run_phases(std::size_t n, std::size_t beta, std::uint64_t seed,
-                int phases, BetaStats& st) {
+                int phases, batch::TrialResult& st) {
   TestbedConfig cfg;
   cfg.n = n;
   cfg.beta = beta;
@@ -60,11 +53,11 @@ void run_phases(std::size_t n, std::size_t beta, std::uint64_t seed,
 
   const auto& reports = tb.audit().finalized();
   for (std::size_t k = 0; k < reports.size() && k < ok_by_phase.size(); ++k) {
-    ++st.phases;
-    st.unfilled += !ok_by_phase[k];
-    st.stab_fail += reports[k].max_stable_from() > B / 2;
-    st.work_per_phase.add(
-        static_cast<double>(reports[k].work_end - reports[k].work_begin));
+    st.count("phases");
+    if (!ok_by_phase[k]) st.count("unfilled");
+    if (reports[k].max_stable_from() > B / 2) st.count("stab_fail");
+    st.sample("work_per_phase",
+              static_cast<double>(reports[k].work_end - reports[k].work_begin));
   }
 }
 
@@ -83,20 +76,28 @@ int main(int argc, char** argv) {
   Table t({"beta", "B", "phases", "unfilled%", "stab_fail%", "work/phase"});
   bool all_ok = true;
 
-  for (std::size_t beta : {1u, 2u, 4u, 8u, 16u, 32u}) {
-    BetaStats st;
-    for (int s = 0; s < opt.seeds; ++s)
-      run_phases(n, beta, 16'000 + static_cast<std::uint64_t>(s), phases, st);
-    if (st.phases == 0) continue;
-    const double unfilled = 100.0 * st.unfilled / st.phases;
-    const double stab = 100.0 * st.stab_fail / st.phases;
+  const std::vector<std::size_t> betas = {1, 2, 4, 8, 16, 32};
+  const auto groups =
+      opt.sweep(betas, opt.seeds, [n, phases](std::size_t beta, int s) {
+        batch::TrialResult st;
+        run_phases(n, beta, 16'000 + static_cast<std::uint64_t>(s), phases, st);
+        return st;
+      });
+
+  for (std::size_t g = 0; g < betas.size(); ++g) {
+    const std::size_t beta = betas[g];
+    const auto& group = groups[g];
+    const double nphases = group.count("phases");
+    if (nphases == 0) continue;
+    const double unfilled = 100.0 * group.count("unfilled") / nphases;
+    const double stab = 100.0 * group.count("stab_fail") / nphases;
     t.row()
         .cell(static_cast<std::uint64_t>(beta))
         .cell(static_cast<std::uint64_t>(BinArray::cells_for(n, beta)))
-        .cell(st.phases)
+        .cell(static_cast<int>(nphases))
         .cell(unfilled, 1)
         .cell(stab, 1)
-        .cell(st.work_per_phase.mean(), 0);
+        .cell(group.sample("work_per_phase").mean(), 0);
     if (beta <= 2 && (stab + unfilled) < 1.0) all_ok = false;
     if (beta == 8 && (stab > 2.0 || unfilled > 2.0)) all_ok = false;
     if (beta == 32 && unfilled < 5.0) all_ok = false;  // fill ceiling real

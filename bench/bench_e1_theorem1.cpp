@@ -20,6 +20,15 @@
 using namespace apex;
 using namespace apex::agreement;
 
+namespace {
+
+struct Point {
+  sim::ScheduleKind kind;
+  std::size_t n;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
   bench::banner("E1: Theorem 1 — total work for n-value agreement",
@@ -30,33 +39,44 @@ int main(int argc, char** argv) {
                       sim::ScheduleKind::kUniformRandom,
                       sim::ScheduleKind::kPowerLaw, sim::ScheduleKind::kBurst};
 
+  std::vector<Point> grid;
+  for (auto kind : kinds)
+    for (std::size_t n : opt.n_sweep(16, 1024, 4096)) grid.push_back({kind, n});
+
+  const auto groups =
+      opt.sweep(grid, opt.seeds, [](const Point& pt, int s) {
+        batch::TrialResult r;
+        TestbedConfig cfg;
+        cfg.n = pt.n;
+        cfg.seed = 1000 + static_cast<std::uint64_t>(s);
+        cfg.schedule = pt.kind;
+        AgreementTestbed tb(cfg, uniform_task(1 << 20),
+                            uniform_support(1 << 20));
+        const std::uint64_t budget =
+            static_cast<std::uint64_t>(500.0 * n_logn_loglogn(pt.n)) + 1000000;
+        const auto res = tb.run_until_agreement(budget);
+        if (!res.satisfied) {
+          r.ok = false;
+          return r;
+        }
+        r.sample("work", static_cast<double>(res.work));
+        return r;
+      });
+
   Table t({"sched", "n", "B", "omega", "runs", "work_mean", "work_ci95",
            "work/nlglglg", "slope_sofar"});
   bool all_ok = true;
 
+  std::size_t g = 0;
   for (auto kind : kinds) {
     std::vector<double> xs, ys;
     for (std::size_t n : opt.n_sweep(16, 1024, 4096)) {
-      Accumulator acc;
+      const auto& group = groups[g++];
+      if (!group.all_ok()) all_ok = false;
+      const auto& acc = group.sample("work");
+      if (acc.count() == 0) continue;
       AgreementConfig probe_cfg;
       probe_cfg.n = n;
-      for (int s = 0; s < opt.seeds; ++s) {
-        TestbedConfig cfg;
-        cfg.n = n;
-        cfg.seed = 1000 + static_cast<std::uint64_t>(s);
-        cfg.schedule = kind;
-        AgreementTestbed tb(cfg, uniform_task(1 << 20),
-                            uniform_support(1 << 20));
-        const std::uint64_t budget =
-            static_cast<std::uint64_t>(500.0 * n_logn_loglogn(n)) + 1000000;
-        const auto res = tb.run_until_agreement(budget);
-        if (!res.satisfied) {
-          all_ok = false;
-          continue;
-        }
-        acc.add(static_cast<double>(res.work));
-      }
-      if (acc.count() == 0) continue;
       xs.push_back(static_cast<double>(n));
       ys.push_back(acc.mean());
       const double slope =

@@ -15,6 +15,15 @@
 using namespace apex;
 using namespace apex::agreement;
 
+namespace {
+
+struct Point {
+  sim::ScheduleKind kind;
+  std::size_t n;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
   bench::banner("E2: Lemma 1 — clobbers per bin per phase",
@@ -22,39 +31,48 @@ int main(int argc, char** argv) {
                 "(sleeper) schedules; max/lg(n) should stay bounded as n "
                 "grows");
 
-  Table t({"sched", "n", "phases", "clob_mean", "clob_max", "max/lg(n)"});
-  bool all_ok = true;
+  const auto kinds = {sim::ScheduleKind::kSleeper,
+                      sim::ScheduleKind::kUniformRandom,
+                      sim::ScheduleKind::kBurst};
+  std::vector<Point> grid;
+  for (auto kind : kinds)
+    for (std::size_t n : opt.n_sweep(32, 512, 2048)) grid.push_back({kind, n});
 
-  for (auto kind :
-       {sim::ScheduleKind::kSleeper, sim::ScheduleKind::kUniformRandom,
-        sim::ScheduleKind::kBurst}) {
-    for (std::size_t n : opt.n_sweep(32, 512, 2048)) {
-      Accumulator mean_acc;
-      std::uint32_t worst = 0;
-      std::size_t phases = 0;
-      for (int s = 0; s < opt.seeds; ++s) {
+  const auto groups =
+      opt.sweep(grid, opt.seeds, [](const Point& pt, int s) {
+        batch::TrialResult r;
         TestbedConfig cfg;
-        cfg.n = n;
+        cfg.n = pt.n;
         cfg.seed = 2000 + static_cast<std::uint64_t>(s);
-        cfg.schedule = kind;
+        cfg.schedule = pt.kind;
         AgreementTestbed tb(cfg, uniform_task(1 << 20),
                             uniform_support(1 << 20));
         // Run long enough for ~4 phases.
         tb.run_more(
-            static_cast<std::uint64_t>(450.0 * n_logn_loglogn(n)) + 500000);
+            static_cast<std::uint64_t>(450.0 * n_logn_loglogn(pt.n)) + 500000);
         for (const auto& rep : tb.audit().finalized()) {
-          mean_acc.add(rep.mean_clobbers());
-          worst = std::max(worst, rep.max_clobbers());
-          ++phases;
+          r.sample("clob_mean", rep.mean_clobbers());
+          r.sample("clob_max", rep.max_clobbers());
         }
-      }
+        return r;
+      });
+
+  Table t({"sched", "n", "phases", "clob_mean", "clob_max", "max/lg(n)"});
+  bool all_ok = true;
+
+  std::size_t g = 0;
+  for (auto kind : kinds) {
+    for (std::size_t n : opt.n_sweep(32, 512, 2048)) {
+      const auto& group = groups[g++];
+      const std::size_t phases = group.sample("clob_mean").count();
       if (phases == 0) continue;
-      const double norm = static_cast<double>(worst) / lg(n);
+      const double worst = group.sample("clob_max").max();
+      const double norm = worst / lg(n);
       t.row()
           .cell(sim::schedule_kind_name(kind))
           .cell(static_cast<std::uint64_t>(n))
           .cell(static_cast<std::uint64_t>(phases))
-          .cell(mean_acc.mean(), 3)
+          .cell(group.sample("clob_mean").mean(), 3)
           .cell(static_cast<std::uint64_t>(worst))
           .cell(norm, 2);
       // Bounded constant times lg n (generous: 25).

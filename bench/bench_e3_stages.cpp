@@ -19,56 +19,72 @@
 using namespace apex;
 using namespace apex::agreement;
 
+namespace {
+
+struct Point {
+  sim::ScheduleKind kind;
+  std::size_t n;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
   bench::banner("E3: Lemma 2 — complete cycles per stage (stage = 3*omega*n)",
                 "predicts between n and 3n complete cycles per stage; "
                 "min/n should be near 1, max/n below 3");
 
-  Table t({"sched", "n", "stages", "min/n", "mean/n", "max/n", "in_bounds%"});
-  bool all_ok = true;
+  const auto kinds = {sim::ScheduleKind::kRoundRobin,
+                      sim::ScheduleKind::kUniformRandom,
+                      sim::ScheduleKind::kPowerLaw, sim::ScheduleKind::kBurst};
+  std::vector<Point> grid;
+  for (auto kind : kinds)
+    for (std::size_t n : opt.n_sweep(32, 256, 1024)) grid.push_back({kind, n});
 
-  for (auto kind :
-       {sim::ScheduleKind::kRoundRobin, sim::ScheduleKind::kUniformRandom,
-        sim::ScheduleKind::kPowerLaw, sim::ScheduleKind::kBurst}) {
-    for (std::size_t n : opt.n_sweep(32, 256, 1024)) {
-      Accumulator per_stage;
-      double in_bounds = 0, total_stages = 0;
-      double minv = 1e18, maxv = 0;
-      for (int s = 0; s < opt.seeds; ++s) {
+  const auto groups =
+      opt.sweep(grid, opt.seeds, [](const Point& pt, int s) {
+        batch::TrialResult r;
         TestbedConfig cfg;
-        cfg.n = n;
+        cfg.n = pt.n;
         cfg.seed = 3000 + static_cast<std::uint64_t>(s);
-        cfg.schedule = kind;
+        cfg.schedule = pt.kind;
         AgreementTestbed tb(cfg, uniform_task(1 << 20),
                             uniform_support(1 << 20));
-        StageAnalysis stages(3 * tb.runtime().cfg.omega() * n, n);
+        StageAnalysis stages(3 * tb.runtime().cfg.omega() * pt.n, pt.n);
         tb.attach(&stages);
-        tb.run_more(40 * 3 * tb.runtime().cfg.omega() * n);
+        tb.run_more(40 * 3 * tb.runtime().cfg.omega() * pt.n);
         const auto rep = stages.finalize();
         // Skip the first stage (startup) and the last (truncated).
         for (std::size_t k = 1; k + 1 < rep.complete_per_stage.size(); ++k) {
           const double c = static_cast<double>(rep.complete_per_stage[k]);
-          per_stage.add(c);
-          minv = std::min(minv, c);
-          maxv = std::max(maxv, c);
-          total_stages += 1;
-          const double nd = static_cast<double>(n);
-          in_bounds += (c >= 2.0 * nd / 3.0 && c <= 3.0 * nd);
+          r.sample("complete", c);
+          const double nd = static_cast<double>(pt.n);
+          if (c >= 2.0 * nd / 3.0 && c <= 3.0 * nd) r.count("in_bounds");
         }
-      }
+        return r;
+      });
+
+  Table t({"sched", "n", "stages", "min/n", "mean/n", "max/n", "in_bounds%"});
+  bool all_ok = true;
+
+  std::size_t g = 0;
+  for (auto kind : kinds) {
+    for (std::size_t n : opt.n_sweep(32, 256, 1024)) {
+      const auto& group = groups[g++];
+      const auto& per_stage = group.sample("complete");
+      const double total_stages = static_cast<double>(per_stage.count());
       if (total_stages == 0) continue;
       const double nd = static_cast<double>(n);
-      const double frac = 100.0 * in_bounds / total_stages;
+      const double frac = 100.0 * group.count("in_bounds") / total_stages;
       t.row()
           .cell(sim::schedule_kind_name(kind))
           .cell(static_cast<std::uint64_t>(n))
           .cell(static_cast<std::uint64_t>(total_stages))
-          .cell(minv / nd, 3)
+          .cell(per_stage.min() / nd, 3)
           .cell(per_stage.mean() / nd, 3)
-          .cell(maxv / nd, 3)
+          .cell(per_stage.max() / nd, 3)
           .cell(frac, 1);
-      if (maxv / nd > 3.0 + 1e-9) all_ok = false;  // hard structural bound
+      if (per_stage.max() / nd > 3.0 + 1e-9) all_ok = false;  // hard bound
       if (frac < 95.0) all_ok = false;
     }
   }

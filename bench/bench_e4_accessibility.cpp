@@ -22,48 +22,54 @@ int main(int argc, char** argv) {
                 "predicts >= 1/2 of cells j >= B/2 filled in every bin "
                 "within the Theorem-1 work bound");
 
+  const std::vector<std::size_t> ns = opt.n_sweep(16, 512, 2048);
+  const auto groups =
+      opt.sweep(ns, opt.seeds, [](std::size_t n, int s) {
+        batch::TrialResult r;
+        TestbedConfig cfg;
+        cfg.n = n;
+        cfg.seed = 4000 + static_cast<std::uint64_t>(s);
+        AgreementTestbed tb(cfg, uniform_task(1 << 20),
+                            uniform_support(1 << 20));
+        const auto res = tb.run_until_agreement(
+            static_cast<std::uint64_t>(500.0 * n_logn_loglogn(n)) + 1000000);
+        if (!res.satisfied) {
+          r.ok = false;
+          return r;
+        }
+        r.sample("work", static_cast<double>(res.work));
+        const std::size_t b_cells = tb.bins().cells_per_bin();
+        const std::size_t upper = b_cells - tb.bins().upper_half_begin();
+        for (std::size_t i = 0; i < n; ++i) {
+          r.sample("fill",
+                   static_cast<double>(tb.bins().upper_half_filled(i, 1)) /
+                       static_cast<double>(upper));
+          r.sample("frontier", static_cast<double>(tb.audit().frontier(i)));
+        }
+        return r;
+      });
+
   Table t({"n", "B", "runs", "work/nlglglg", "min_fill", "mean_fill",
            "frontier_min"});
   bool all_ok = true;
 
-  for (std::size_t n : opt.n_sweep(16, 512, 2048)) {
-    Accumulator work_acc, fill_acc;
-    double min_fill = 1.0;
-    std::size_t frontier_min = ~0ull;
-    std::size_t b_cells = 0;
-    for (int s = 0; s < opt.seeds; ++s) {
-      TestbedConfig cfg;
-      cfg.n = n;
-      cfg.seed = 4000 + static_cast<std::uint64_t>(s);
-      AgreementTestbed tb(cfg, uniform_task(1 << 20), uniform_support(1 << 20));
-      const auto res = tb.run_until_agreement(
-          static_cast<std::uint64_t>(500.0 * n_logn_loglogn(n)) + 1000000);
-      if (!res.satisfied) {
-        all_ok = false;
-        continue;
-      }
-      work_acc.add(static_cast<double>(res.work));
-      b_cells = tb.bins().cells_per_bin();
-      const std::size_t upper = b_cells - tb.bins().upper_half_begin();
-      for (std::size_t i = 0; i < n; ++i) {
-        const double f =
-            static_cast<double>(tb.bins().upper_half_filled(i, 1)) /
-            static_cast<double>(upper);
-        fill_acc.add(f);
-        min_fill = std::min(min_fill, f);
-        frontier_min = std::min(frontier_min, tb.audit().frontier(i));
-      }
-    }
+  for (std::size_t g = 0; g < ns.size(); ++g) {
+    const std::size_t n = ns[g];
+    const auto& group = groups[g];
+    if (!group.all_ok()) all_ok = false;
+    const auto& work_acc = group.sample("work");
     if (work_acc.count() == 0) continue;
+    const std::size_t b_cells = BinArray::cells_for(n, TestbedConfig{}.beta);
+    const auto& fill_acc = group.sample("fill");
     t.row()
         .cell(static_cast<std::uint64_t>(n))
         .cell(static_cast<std::uint64_t>(b_cells))
         .cell(static_cast<std::uint64_t>(work_acc.count()))
         .cell(work_acc.mean() / n_logn_loglogn(n), 2)
-        .cell(min_fill, 3)
+        .cell(fill_acc.min(), 3)
         .cell(fill_acc.mean(), 3)
-        .cell(static_cast<std::uint64_t>(frontier_min));
-    if (min_fill < 0.5) all_ok = false;
+        .cell(static_cast<std::uint64_t>(group.sample("frontier").min()));
+    if (fill_acc.min() < 0.5) all_ok = false;
   }
   opt.emit(t);
   return bench::verdict(all_ok,

@@ -18,43 +18,63 @@
 using namespace apex;
 using namespace apex::agreement;
 
+namespace {
+
+struct Point {
+  sim::ScheduleKind kind;
+  std::size_t n;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
   bench::banner("E5: Lemma 6 — stabilizing-structure frequency",
                 "predicts rate >= e^-8 = 0.000335 per (stage pair, bin), "
                 "independent of n");
 
+  const auto kinds = {sim::ScheduleKind::kRoundRobin,
+                      sim::ScheduleKind::kUniformRandom,
+                      sim::ScheduleKind::kBurst};
+  std::vector<Point> grid;
+  for (auto kind : kinds)
+    for (std::size_t n : opt.n_sweep(16, 256, 1024)) grid.push_back({kind, n});
+
+  const auto groups =
+      opt.sweep(grid, opt.seeds, [](const Point& pt, int s) {
+        batch::TrialResult r;
+        TestbedConfig cfg;
+        cfg.n = pt.n;
+        cfg.seed = 5000 + static_cast<std::uint64_t>(s);
+        cfg.schedule = pt.kind;
+        AgreementTestbed tb(cfg, uniform_task(1 << 20),
+                            uniform_support(1 << 20));
+        StageAnalysis stages(3 * tb.runtime().cfg.omega() * pt.n, pt.n);
+        tb.attach(&stages);
+        tb.run_more(40 * 3 * tb.runtime().cfg.omega() * pt.n);
+        const auto rep = stages.finalize();
+        r.count("pairs", static_cast<double>(rep.pairs_examined));
+        r.count("structures", static_cast<double>(rep.stabilizing_structures));
+        return r;
+      });
+
   Table t({"sched", "n", "pairs", "structures", "rate", "rate/e^-8"});
   const double bound = std::exp(-8.0);
   bool all_ok = true;
 
-  for (auto kind :
-       {sim::ScheduleKind::kRoundRobin, sim::ScheduleKind::kUniformRandom,
-        sim::ScheduleKind::kBurst}) {
+  std::size_t g = 0;
+  for (auto kind : kinds) {
     for (std::size_t n : opt.n_sweep(16, 256, 1024)) {
-      std::uint64_t pairs = 0, structures = 0;
-      for (int s = 0; s < opt.seeds; ++s) {
-        TestbedConfig cfg;
-        cfg.n = n;
-        cfg.seed = 5000 + static_cast<std::uint64_t>(s);
-        cfg.schedule = kind;
-        AgreementTestbed tb(cfg, uniform_task(1 << 20),
-                            uniform_support(1 << 20));
-        StageAnalysis stages(3 * tb.runtime().cfg.omega() * n, n);
-        tb.attach(&stages);
-        tb.run_more(40 * 3 * tb.runtime().cfg.omega() * n);
-        const auto rep = stages.finalize();
-        pairs += rep.pairs_examined;
-        structures += rep.stabilizing_structures;
-      }
+      const auto& group = groups[g++];
+      const double pairs = group.count("pairs");
+      const double structures = group.count("structures");
       if (pairs == 0) continue;
-      const double rate =
-          static_cast<double>(structures) / static_cast<double>(pairs);
+      const double rate = structures / pairs;
       t.row()
           .cell(sim::schedule_kind_name(kind))
           .cell(static_cast<std::uint64_t>(n))
-          .cell(pairs)
-          .cell(structures)
+          .cell(static_cast<std::uint64_t>(pairs))
+          .cell(static_cast<std::uint64_t>(structures))
           .cell(rate, 5)
           .cell(rate / bound, 1);
       if (rate < bound) all_ok = false;

@@ -15,52 +15,70 @@
 using namespace apex;
 using namespace apex::agreement;
 
+namespace {
+
+struct Point {
+  sim::ScheduleKind kind;
+  std::size_t n;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
   bench::banner("E6: Lemma 7 — bins reach stability by cell B/2",
                 "predicts the last value-conflicting cell sits below B/2 in "
                 "every bin; max_stable_from/(B/2) must be <= 1");
 
+  const auto kinds = {sim::ScheduleKind::kUniformRandom,
+                      sim::ScheduleKind::kPowerLaw, sim::ScheduleKind::kBurst};
+  std::vector<Point> grid;
+  for (auto kind : kinds)
+    for (std::size_t n : opt.n_sweep(16, 512, 2048)) grid.push_back({kind, n});
+
+  const auto groups =
+      opt.sweep(grid, opt.seeds, [](const Point& pt, int s) {
+        batch::TrialResult r;
+        TestbedConfig cfg;
+        cfg.n = pt.n;
+        cfg.seed = 6000 + static_cast<std::uint64_t>(s);
+        cfg.schedule = pt.kind;
+        AgreementTestbed tb(cfg, uniform_task(1 << 20),
+                            uniform_support(1 << 20));
+        const auto res = tb.run_until_agreement(
+            static_cast<std::uint64_t>(500.0 * n_logn_loglogn(pt.n)) + 1000000);
+        if (!res.satisfied) {
+          r.ok = false;
+          return r;
+        }
+        r.count("runs");
+        const auto snap = tb.audit().snapshot();
+        for (auto sf : snap.stable_from)
+          r.sample("stable_from", static_cast<double>(sf));
+        r.sample("worst", static_cast<double>(snap.max_stable_from()));
+        return r;
+      });
+
   Table t({"sched", "n", "B", "runs", "stable_from_mean", "stable_from_max",
            "max/(B/2)"});
   bool all_ok = true;
 
-  for (auto kind :
-       {sim::ScheduleKind::kUniformRandom, sim::ScheduleKind::kPowerLaw,
-        sim::ScheduleKind::kBurst}) {
+  std::size_t g = 0;
+  for (auto kind : kinds) {
     for (std::size_t n : opt.n_sweep(16, 512, 2048)) {
-      Accumulator acc;
-      std::uint32_t worst = 0;
-      std::size_t b_cells = 0;
-      std::size_t runs = 0;
-      for (int s = 0; s < opt.seeds; ++s) {
-        TestbedConfig cfg;
-        cfg.n = n;
-        cfg.seed = 6000 + static_cast<std::uint64_t>(s);
-        cfg.schedule = kind;
-        AgreementTestbed tb(cfg, uniform_task(1 << 20),
-                            uniform_support(1 << 20));
-        const auto res = tb.run_until_agreement(
-            static_cast<std::uint64_t>(500.0 * n_logn_loglogn(n)) + 1000000);
-        if (!res.satisfied) {
-          all_ok = false;
-          continue;
-        }
-        ++runs;
-        b_cells = tb.bins().cells_per_bin();
-        const auto snap = tb.audit().snapshot();
-        for (auto sf : snap.stable_from) acc.add(static_cast<double>(sf));
-        worst = std::max(worst, snap.max_stable_from());
-      }
+      const auto& group = groups[g++];
+      if (!group.all_ok()) all_ok = false;
+      const std::size_t runs = static_cast<std::size_t>(group.count("runs"));
       if (runs == 0) continue;
-      const double norm =
-          static_cast<double>(worst) / (static_cast<double>(b_cells) / 2.0);
+      const std::size_t b_cells = BinArray::cells_for(n, TestbedConfig{}.beta);
+      const double worst = group.sample("worst").max();
+      const double norm = worst / (static_cast<double>(b_cells) / 2.0);
       t.row()
           .cell(sim::schedule_kind_name(kind))
           .cell(static_cast<std::uint64_t>(n))
           .cell(static_cast<std::uint64_t>(b_cells))
           .cell(static_cast<std::uint64_t>(runs))
-          .cell(acc.mean(), 2)
+          .cell(group.sample("stable_from").mean(), 2)
           .cell(static_cast<std::uint64_t>(worst))
           .cell(norm, 3);
       if (norm > 1.0) all_ok = false;

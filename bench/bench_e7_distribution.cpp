@@ -25,6 +25,11 @@ struct Spec {
   std::vector<double> probs;
 };
 
+struct Point {
+  const Spec* spec;
+  sim::ScheduleKind kind;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -44,43 +49,55 @@ int main(int argc, char** argv) {
     specs.push_back({"die_8", uniform_task(8), uniform_support(8), u8});
   }
 
-  Table t({"dist", "sched", "samples", "chi2", "dof", "p_value"});
-  bool all_ok = true;
-
-  for (const auto& spec : specs) {
+  std::vector<Point> grid;
+  for (const auto& spec : specs)
     for (auto kind :
-         {sim::ScheduleKind::kUniformRandom, sim::ScheduleKind::kBurst}) {
-      std::vector<std::uint64_t> counts(spec.probs.size(), 0);
-      std::uint64_t samples = 0;
-      for (int tr = 0; tr < trials; ++tr) {
+         {sim::ScheduleKind::kUniformRandom, sim::ScheduleKind::kBurst})
+      grid.push_back({&spec, kind});
+
+  const auto groups =
+      opt.sweep(grid, trials, [n](const Point& pt, int tr) {
+        batch::TrialResult r;
         TestbedConfig cfg;
         cfg.n = n;
         cfg.seed = 7000 + static_cast<std::uint64_t>(tr) * 13 +
-                   (kind == sim::ScheduleKind::kBurst ? 7 : 0);
-        cfg.schedule = kind;
-        AgreementTestbed tb(cfg, spec.task, spec.support);
+                   (pt.kind == sim::ScheduleKind::kBurst ? 7 : 0);
+        cfg.schedule = pt.kind;
+        AgreementTestbed tb(cfg, pt.spec->task, pt.spec->support);
         const auto res = tb.run_until_agreement(200'000'000);
         if (!res.satisfied) {
-          all_ok = false;
-          continue;
+          r.ok = false;
+          return r;
         }
         for (const auto& v : tb.checker().values(1)) {
-          if (!v || *v >= counts.size()) continue;
-          ++counts[*v];
-          ++samples;
+          if (!v || *v >= pt.spec->probs.size()) continue;
+          r.count("c" + std::to_string(*v));
+          r.count("samples");
         }
-      }
-      const double stat = chi_square_stat(counts, spec.probs);
-      const double p = chi_square_pvalue(stat, spec.probs.size() - 1);
-      t.row()
-          .cell(spec.name)
-          .cell(sim::schedule_kind_name(kind))
-          .cell(samples)
-          .cell(stat, 2)
-          .cell(static_cast<std::uint64_t>(spec.probs.size() - 1))
-          .cell(p, 5);
-      if (p < 1e-4) all_ok = false;
-    }
+        return r;
+      });
+
+  Table t({"dist", "sched", "samples", "chi2", "dof", "p_value"});
+  bool all_ok = true;
+
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    const auto& pt = grid[g];
+    const auto& group = groups[g];
+    if (!group.all_ok()) all_ok = false;
+    std::vector<std::uint64_t> counts(pt.spec->probs.size(), 0);
+    for (std::size_t v = 0; v < counts.size(); ++v)
+      counts[v] =
+          static_cast<std::uint64_t>(group.count("c" + std::to_string(v)));
+    const double stat = chi_square_stat(counts, pt.spec->probs);
+    const double p = chi_square_pvalue(stat, pt.spec->probs.size() - 1);
+    t.row()
+        .cell(pt.spec->name)
+        .cell(sim::schedule_kind_name(pt.kind))
+        .cell(static_cast<std::uint64_t>(group.count("samples")))
+        .cell(stat, 2)
+        .cell(static_cast<std::uint64_t>(pt.spec->probs.size() - 1))
+        .cell(p, 5);
+    if (p < 1e-4) all_ok = false;
   }
   opt.emit(t);
   return bench::verdict(all_ok,

@@ -73,6 +73,11 @@ TickCosts measure(std::size_t n, double alpha, bool solo, std::uint64_t seed,
   return out;
 }
 
+struct Point {
+  bool solo;
+  std::size_t n;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -82,25 +87,38 @@ int main(int argc, char** argv) {
                 "independent of n AND of who updates; Read cost = Theta(lg n)");
 
   const double alpha = 6.0;
+
+  std::vector<Point> grid;
+  for (bool solo : {false, true})
+    for (std::size_t n : opt.n_sweep(16, 512, 2048)) grid.push_back({solo, n});
+
+  const auto groups =
+      opt.sweep(grid, opt.seeds, [alpha](const Point& pt, int s) {
+        batch::TrialResult r;
+        const auto tc = measure(pt.n, alpha, pt.solo,
+                                7000 + static_cast<std::uint64_t>(s), 8);
+        if (tc.invocations_per_tick.size() < 4) {
+          r.ok = false;
+          return r;
+        }
+        // Skip tick 1 (start-up transient: empty slots).
+        for (std::size_t k = 1; k < tc.invocations_per_tick.size(); ++k)
+          r.sample("inv",
+                   tc.invocations_per_tick[k] / static_cast<double>(pt.n));
+        return r;
+      });
+
   Table t({"driver", "n", "ticks", "inv/tick/n min", "mean", "max",
            "read_cost", "read/lgn"});
   bool all_ok = true;
   double bracket_lo = 1e18, bracket_hi = 0;
 
+  std::size_t g = 0;
   for (bool solo : {false, true}) {
     for (std::size_t n : opt.n_sweep(16, 512, 2048)) {
-      Accumulator acc;
-      for (int s = 0; s < opt.seeds; ++s) {
-        const auto tc =
-            measure(n, alpha, solo, 7000 + static_cast<std::uint64_t>(s), 8);
-        if (tc.invocations_per_tick.size() < 4) {
-          all_ok = false;
-          continue;
-        }
-        // Skip tick 1 (start-up transient: empty slots).
-        for (std::size_t k = 1; k < tc.invocations_per_tick.size(); ++k)
-          acc.add(tc.invocations_per_tick[k] / static_cast<double>(n));
-      }
+      const auto& group = groups[g++];
+      if (!group.all_ok()) all_ok = false;
+      const auto& acc = group.sample("inv");
       if (acc.count() == 0) continue;
       const auto probe = measure(n, alpha, solo, 7000, 1);
       const double rc = static_cast<double>(probe.read_cost);

@@ -30,33 +30,45 @@ int main(int argc, char** argv) {
                 "overhead/(lg n lglg n) should stay ~constant in n");
 
   const std::size_t T = 6;
+  const std::vector<std::size_t> ns = opt.n_sweep(8, 128, 512);
+
+  const auto groups =
+      opt.sweep(ns, opt.seeds, [T](std::size_t n, int s) {
+        batch::TrialResult r;
+        pram::Program p = pram::make_coin_matrix(n, T, 0.5);
+        for (Scheme scheme :
+             {Scheme::kDeterministic, Scheme::kNondeterministic}) {
+          ExecConfig cfg;
+          cfg.seed = 9000 + static_cast<std::uint64_t>(s);
+          Executor ex(p, scheme, cfg);
+          const auto res = ex.run(Executor::default_budget(p));
+          if (!res.completed) {
+            r.ok = false;
+            continue;
+          }
+          const double ovh = static_cast<double>(res.total_work) /
+                             (static_cast<double>(T) * static_cast<double>(n));
+          r.sample(scheme == Scheme::kDeterministic ? "det" : "nondet", ovh);
+        }
+        return r;
+      });
+
   Table t({"n", "T", "det_ovh", "nondet_ovh", "ovh/lg*lglg", "ratio_vs_det",
            "slope_sofar"});
   bool all_ok = true;
   std::vector<double> xs, ys;
 
-  for (std::size_t n : opt.n_sweep(8, 128, 512)) {
-    Accumulator det_acc, nondet_acc;
-    for (int s = 0; s < opt.seeds; ++s) {
-      pram::Program p = pram::make_coin_matrix(n, T, 0.5);
-      for (Scheme scheme : {Scheme::kDeterministic, Scheme::kNondeterministic}) {
-        ExecConfig cfg;
-        cfg.seed = 9000 + static_cast<std::uint64_t>(s);
-        Executor ex(p, scheme, cfg);
-        const auto res = ex.run(Executor::default_budget(p));
-        if (!res.completed) {
-          all_ok = false;
-          continue;
-        }
-        const double ovh = static_cast<double>(res.total_work) /
-                           (static_cast<double>(T) * static_cast<double>(n));
-        (scheme == Scheme::kDeterministic ? det_acc : nondet_acc).add(ovh);
-      }
-    }
+  for (std::size_t g = 0; g < ns.size(); ++g) {
+    const std::size_t n = ns[g];
+    const auto& group = groups[g];
+    if (!group.all_ok()) all_ok = false;
+    const auto& det_acc = group.sample("det");
+    const auto& nondet_acc = group.sample("nondet");
     if (nondet_acc.count() == 0 || det_acc.count() == 0) continue;
     xs.push_back(static_cast<double>(n));
     ys.push_back(nondet_acc.mean());
-    const double norm = nondet_acc.mean() / (lg(n) * static_cast<double>(lglg(n)));
+    const double norm =
+        nondet_acc.mean() / (lg(n) * static_cast<double>(lglg(n)));
     t.row()
         .cell(static_cast<std::uint64_t>(n))
         .cell(static_cast<std::uint64_t>(T))

@@ -1,10 +1,20 @@
-// Shared helpers for the experiment binaries (E1-E13).
+// Shared helpers for the experiment binaries (E1-E15).
 //
 // Every binary prints one or more aligned tables — the series the paper's
 // theorem/lemma/figure predicts — and exits 0 when the measured shape
 // matches the prediction (so `for b in build/bench/*; do $b; done` doubles
 // as a reproduction check).  `--csv` switches to CSV; `--full` enlarges the
-// sweeps; `--seeds=K` controls replication.
+// sweeps; `--seeds=K` controls replication; `--jobs=N` runs the trial grid
+// on N worker threads (0 = all hardware threads, default 1).
+//
+// Parallelism is deterministic: each driver enumerates its full
+// (config, seed) grid up-front and hands it to batch::SweepEngine, which
+// runs one simulation universe per grid point and merges TrialResults back
+// in trial-index order.  Because every trial seeds its own Simulator from
+// its grid point alone, the aggregated tables — and therefore stdout — are
+// byte-identical for every `--jobs` value; only wall-clock changes.  (The
+// one exception is E12, whose trials measure real-thread wall-clock and
+// throughput: those columns vary run to run by nature, at any `--jobs`.)
 #pragma once
 
 #include <cstdint>
@@ -14,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "batch/sweep.h"
 #include "util/table.h"
 
 namespace apex::bench {
@@ -22,6 +33,20 @@ struct Options {
   bool csv = false;
   bool full = false;
   int seeds = 3;
+  std::size_t jobs = 1;
+
+  static long parse_num(const std::string& flag, const std::string& value) {
+    try {
+      std::size_t pos = 0;
+      const long v = std::stol(value, &pos);
+      if (pos != value.size() || v < 0) throw std::invalid_argument(value);
+      return v;
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "%s expects a non-negative integer, got '%s'\n",
+                   flag.c_str(), value.c_str());
+      std::exit(2);
+    }
+  }
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -29,9 +54,13 @@ struct Options {
       const std::string a = argv[i];
       if (a == "--csv") o.csv = true;
       else if (a == "--full") o.full = true;
-      else if (a.rfind("--seeds=", 0) == 0) o.seeds = std::stoi(a.substr(8));
+      else if (a.rfind("--seeds=", 0) == 0)
+        o.seeds = static_cast<int>(parse_num("--seeds", a.substr(8)));
+      else if (a.rfind("--jobs=", 0) == 0)
+        o.jobs = static_cast<std::size_t>(parse_num("--jobs", a.substr(7)));
       else if (a == "--help" || a == "-h") {
-        std::printf("usage: %s [--csv] [--full] [--seeds=K]\n", argv[0]);
+        std::printf("usage: %s [--csv] [--full] [--seeds=K] [--jobs=N]\n",
+                    argv[0]);
         std::exit(0);
       }
     }
@@ -50,6 +79,25 @@ struct Options {
     const std::size_t hi = full ? hi_full : hi_default;
     for (std::size_t n = lo; n <= hi; n *= 2) ns.push_back(n);
     return ns;
+  }
+
+  /// Run `configs.size() * reps` independent trials (config-major,
+  /// replicate-minor) across the worker pool and return one GroupStats per
+  /// config, in config order.  `fn(config, rep)` builds and runs one
+  /// simulation universe; rep in [0, reps) replaces the old inner seed loop.
+  template <typename Config, typename Fn>
+  std::vector<batch::GroupStats> sweep(const std::vector<Config>& configs,
+                                       int reps, Fn&& fn) const {
+    batch::SweepSpec spec;
+    spec.trials = configs.size() * static_cast<std::size_t>(reps);
+    spec.jobs = jobs;
+    const auto reps_sz = static_cast<std::size_t>(reps);
+    return batch::SweepEngine().run_grouped(
+        spec,
+        [&](std::size_t i) {
+          return fn(configs[i / reps_sz], static_cast<int>(i % reps_sz));
+        },
+        reps_sz);
   }
 };
 

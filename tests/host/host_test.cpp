@@ -77,7 +77,9 @@ TEST(HostAgreement, UniquenessHoldsInUpperHalf) {
   for (std::size_t i = 0; i < 4; ++i) {
     const auto uh = ha.upper_half_values(i, res.phase);
     ASSERT_LE(uh.size(), 1u) << "bin " << i;
-    if (!uh.empty()) EXPECT_EQ(uh[0], res.values[i]) << "bin " << i;
+    if (!uh.empty()) {
+      EXPECT_EQ(uh[0], res.values[i]) << "bin " << i;
+    }
   }
 }
 

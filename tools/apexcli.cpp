@@ -14,22 +14,46 @@
 //   apexcli host   [--threads=4] [--seed=1]
 //       run bin-array agreement on real std::threads.
 //
+//   apexcli sweep  [--n=16,32,64] [--sched=uniform,burst] [--seeds=3]
+//                  [--jobs=1] [--beta=8] [--csv]
+//       run the Theorem-1 agreement testbed over the full (sched, n, seed)
+//       grid on a worker pool (batch::SweepEngine; --jobs=0 = all hardware
+//       threads) and print per-config work statistics.  Output is
+//       byte-identical for every --jobs value.
+//
 //   apexcli sched
 //       list the adversary schedule family.
 //
 // Exit code 0 = run completed and all checked invariants held.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <map>
 #include <numeric>
 #include <string>
 #include <vector>
 
+#include "batch/sweep.h"
 #include "core/apex.h"
 
 using namespace apex;
 
 namespace {
+
+std::uint64_t parse_u64(const char* flag, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(value, &pos);
+    if (pos != value.size() || value[0] == '-')
+      throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "--%s expects a non-negative integer, got '%s'\n",
+                 flag, value.c_str());
+    std::exit(2);
+  }
+}
 
 struct Args {
   std::string cmd;
@@ -52,7 +76,7 @@ struct Args {
 
   std::uint64_t u64(const char* key, std::uint64_t dflt) const {
     const auto it = kv.find(key);
-    return it == kv.end() ? dflt : std::stoull(it->second);
+    return it == kv.end() ? dflt : parse_u64(key, it->second);
   }
   std::string str(const char* key, const char* dflt) const {
     const auto it = kv.find(key);
@@ -217,6 +241,99 @@ int cmd_host(const Args& a) {
   return res.satisfied ? 0 : 1;
 }
 
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const auto comma = s.find(',', pos);
+    const auto end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int cmd_sweep(const Args& a) {
+  struct Point {
+    sim::ScheduleKind kind;
+    std::size_t n;
+  };
+  std::vector<Point> grid;
+  for (const auto& sched : split_csv(a.str("sched", "uniform")))
+    for (const auto& n : split_csv(a.str("n", "16,32,64"))) {
+      const auto nv = static_cast<std::size_t>(parse_u64("n", n));
+      if (nv == 0) {
+        std::fprintf(stderr, "sweep: --n values must be >= 1\n");
+        return 2;
+      }
+      grid.push_back({parse_sched(sched), nv});
+    }
+  if (grid.empty()) {
+    std::fprintf(stderr, "sweep: empty grid (check --n and --sched)\n");
+    return 2;
+  }
+  const int seeds = std::max<int>(1, static_cast<int>(a.u64("seeds", 3)));
+  const std::size_t beta = a.u64("beta", 8);
+  const std::size_t jobs = a.u64("jobs", 1);
+
+  batch::SweepSpec spec;
+  spec.trials = grid.size() * static_cast<std::size_t>(seeds);
+  spec.jobs = jobs;
+  std::vector<batch::GroupStats> groups;
+  try {
+    groups = batch::SweepEngine().run_grouped(
+      spec,
+      [&](std::size_t i) {
+        batch::TrialResult r;
+        const Point& pt = grid[i / static_cast<std::size_t>(seeds)];
+        agreement::TestbedConfig cfg;
+        cfg.n = pt.n;
+        cfg.beta = beta;
+        cfg.seed = 1 + i % static_cast<std::size_t>(seeds);
+        cfg.schedule = pt.kind;
+        agreement::AgreementTestbed tb(cfg, agreement::uniform_task(1 << 20),
+                                       agreement::uniform_support(1 << 20));
+        const std::uint64_t budget =
+            static_cast<std::uint64_t>(500.0 * n_logn_loglogn(pt.n)) +
+            1'000'000;
+        const auto res = tb.run_until_agreement(budget);
+        if (!res.satisfied) {
+          r.ok = false;
+          return r;
+        }
+        r.sample("work", static_cast<double>(res.work));
+        return r;
+      },
+      static_cast<std::size_t>(seeds));
+  } catch (const batch::SweepError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  Table t({"sched", "n", "runs", "satisfied", "work_mean", "work_ci95",
+           "work_min", "work_max", "work/nlglglg"});
+  bool all_ok = true;
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    const auto& group = groups[g];
+    const auto& work = group.sample("work");
+    if (!group.all_ok()) all_ok = false;
+    t.row()
+        .cell(sim::schedule_kind_name(grid[g].kind))
+        .cell(static_cast<std::uint64_t>(grid[g].n))
+        .cell(static_cast<std::uint64_t>(group.trials()))
+        .cell(static_cast<std::uint64_t>(group.trials() - group.failed()))
+        .cell(work.mean(), 0)
+        .cell(work.ci95(), 0)
+        .cell(work.min(), 0)
+        .cell(work.max(), 0)
+        .cell(work.count() ? work.mean() / n_logn_loglogn(grid[g].n) : 0.0, 2);
+  }
+  if (a.kv.count("csv")) t.print_csv(std::cout);
+  else t.print(std::cout);
+  return all_ok ? 0 : 1;
+}
+
 int cmd_sched() {
   std::printf("adversary schedules:\n");
   for (auto k : sim::all_schedule_kinds())
@@ -231,13 +348,16 @@ int main(int argc, char** argv) {
   if (a.cmd == "agree") return cmd_agree(a);
   if (a.cmd == "exec") return cmd_exec(a);
   if (a.cmd == "host") return cmd_host(a);
+  if (a.cmd == "sweep") return cmd_sweep(a);
   if (a.cmd == "sched") return cmd_sched();
   std::printf(
-      "usage: apexcli <agree|exec|host|sched> [--key=value ...]\n"
+      "usage: apexcli <agree|exec|host|sweep|sched> [--key=value ...]\n"
       "  agree --n=64 --sched=uniform --seed=1 --beta=8\n"
       "  exec  --workload=luby|leader|ring|coins|probe|prefix|sort|reduction\n"
       "        --n=8 --scheme=nondet|det --sched=uniform --seed=1\n"
       "  host  --threads=4 --seed=1\n"
+      "  sweep --n=16,32,64 --sched=uniform,burst --seeds=3 --jobs=1 --beta=8\n"
+      "        [--csv]\n"
       "  sched\n");
   return a.cmd.empty() ? 0 : 2;
 }
