@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "check/mutation.h"
 #include "sim/simulator.h"
 
 namespace apex::agreement {
@@ -59,12 +60,18 @@ sim::SubTask<void> agreement_cycle(sim::Ctx& ctx, AgreementRuntime& rt,
   const std::size_t j = co_await detail::search_first_empty(ctx, bins, i, phase);
   rec.d_time = ctx.simulator().total_work();
 
+  // Self-test mutation (check/mutation.h): a processor that stops
+  // refreshing its write timestamp once the clock has ticked.
+  sim::Word write_stamp = phase;
+  if (check::mutation_enabled(check::Mutation::kStaleStamp) && phase > 1)
+    write_stamp = phase - 1;
+
   if (j == 0) {
     // Line 5-9: first cell empty — evaluate f_i^(π); write it unless the
     // evaluation could not complete (operand unavailable).
     const TaskResult v = co_await rt.task(ctx, i, phase);
     if (v.has_value()) {
-      co_await ctx.write(bins.addr(i, 0), *v, phase);
+      co_await ctx.write(bins.addr(i, 0), *v, write_stamp);
       rec.wrote_cell = 0;
       rec.wrote_value = *v;
       rec.evaluated_f = true;
@@ -75,9 +82,11 @@ sim::SubTask<void> agreement_cycle(sim::Ctx& ctx, AgreementRuntime& rt,
     // stale value must never be given a current stamp.
     const sim::Cell prev = co_await ctx.read(bins.addr(i, j - 1));
     if (prev.stamp == phase) {
-      co_await ctx.write(bins.addr(i, j), prev.value, phase);
+      sim::Word v = prev.value;
+      if (check::mutation_enabled(check::Mutation::kCopyOffByOne)) v += 1;
+      co_await ctx.write(bins.addr(i, j), v, write_stamp);
       rec.wrote_cell = static_cast<int>(j);
-      rec.wrote_value = prev.value;
+      rec.wrote_value = v;
     }
   }
   // j == b: bin already full; nothing to write.

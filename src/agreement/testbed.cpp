@@ -63,8 +63,11 @@ AgreementTestbed::AgreementTestbed(TestbedConfig cfg, TaskFn task,
   sc.memory_words = 0;
   sc.seed = cfg.seed;
   apex::SeedTree seeds{cfg.seed};
-  sim_ = std::make_unique<sim::Simulator>(
-      sc, sim::make_schedule(cfg.schedule, cfg.n, seeds.schedule()));
+  auto schedule = cfg.schedule_factory
+                      ? cfg.schedule_factory(cfg.n, seeds.schedule())
+                      : sim::make_schedule(cfg.schedule, cfg.n,
+                                           seeds.schedule());
+  sim_ = std::make_unique<sim::Simulator>(sc, std::move(schedule));
 
   clockx::ClockConfig cc;
   cc.nprocs = cfg.n;

@@ -28,6 +28,12 @@ struct TestbedConfig {
   std::uint64_t seed = 1;
   sim::ScheduleKind schedule = sim::ScheduleKind::kUniformRandom;
   std::size_t compute_steps = 1;      ///< Step budget of the task function.
+
+  /// When set, overrides `schedule`: called once with (nprocs, schedule-
+  /// stream rng) to build the adversary.  The fuzzer uses this to drive the
+  /// testbed with FuzzedSchedule / shrunk ScriptedSchedule repros.
+  std::function<std::unique_ptr<sim::Schedule>(std::size_t, apex::Rng)>
+      schedule_factory;
 };
 
 /// Canonical nondeterministic task: each evaluation draws uniformly from

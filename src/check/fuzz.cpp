@@ -1,0 +1,369 @@
+#include "check/fuzz.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "agreement/testbed.h"
+#include "batch/sweep.h"
+#include "consensus/scan_consensus.h"
+
+namespace apex::check {
+
+namespace {
+
+constexpr std::uint64_t kTrialTag = 0xF0221A6;
+constexpr sim::Word kSupportMax = 1 << 20;
+
+/// Grants between stop-predicate polls: small enough that shrink traces end
+/// close to the violation, large enough not to dominate wall time.
+constexpr std::uint64_t kPollInterval = 16;
+
+std::unique_ptr<sim::Schedule> build_adversary(const TrialSpec& spec,
+                                               std::size_t nprocs,
+                                               apex::Rng rng) {
+  if (spec.script != nullptr)
+    return std::make_unique<sim::ScriptedSchedule>(
+        nprocs, *spec.script, sim::ScriptExhaust::kRoundRobin);
+  if (spec.fuzzed)
+    return std::make_unique<FuzzedSchedule>(nprocs, spec.seed);
+  return sim::make_schedule(spec.kind, nprocs, rng);
+}
+
+TrialOutcome run_agreement_trial(const TrialSpec& spec, const FuzzConfig& cfg,
+                                 bool record) {
+  TrialOutcome out;
+  FuzzedSchedule* fz = nullptr;
+  RecordingSchedule* rec = nullptr;
+
+  agreement::TestbedConfig tc;
+  tc.n = spec.n;
+  tc.beta = spec.beta;
+  tc.seed = spec.seed;
+  tc.schedule_factory = [&](std::size_t nprocs, apex::Rng rng) {
+    auto inner = build_adversary(spec, nprocs, rng);
+    if (spec.script == nullptr && spec.fuzzed)
+      fz = static_cast<FuzzedSchedule*>(inner.get());
+    if (!record) return inner;
+    auto wrapped = std::make_unique<RecordingSchedule>(std::move(inner));
+    rec = wrapped.get();
+    return std::unique_ptr<sim::Schedule>(std::move(wrapped));
+  };
+  agreement::AgreementTestbed tb(tc, agreement::uniform_task(kSupportMax),
+                                 agreement::uniform_support(kSupportMax));
+
+  WorkAccountingOracle work;
+  ClockOracle clock(tb.clock(), spec.n, cfg.skew_ticks);
+  BinArrayOracle bins(tb.bins(), agreement::uniform_support(kSupportMax));
+  ClobberOracle clobbers(tb.bins(), tb.clock(), cfg.clobber_bound);
+  OracleSet set;
+  set.add(&work);
+  set.add(&clock);
+  set.add(&bins);
+  set.add(&clobbers);
+  tb.attach(static_cast<sim::StepObserver*>(&set));
+  tb.attach(static_cast<agreement::AgreementObserver*>(&set));
+
+  try {
+    tb.simulator().run(
+        spec.budget, [&] { return set.failed(); }, kPollInterval);
+    set.finish(tb.simulator());
+    if (const Oracle* o = set.first_failing()) {
+      out.failed = true;
+      out.oracle = o->name();
+      out.message = o->failures().front();
+    }
+  } catch (const std::exception& e) {
+    out.failed = true;
+    out.oracle = "exception";
+    out.message = e.what();
+  }
+  if (fz != nullptr) out.schedule_desc = fz->describe();
+  if (rec != nullptr) out.trace = rec->trace();
+  return out;
+}
+
+TrialOutcome run_consensus_trial(const TrialSpec& spec, const FuzzConfig& cfg,
+                                 bool record) {
+  TrialOutcome out;
+  FuzzedSchedule* fz = nullptr;
+  RecordingSchedule* rec = nullptr;
+
+  apex::SeedTree seeds{spec.seed};
+  auto inner = build_adversary(spec, spec.n, seeds.schedule());
+  if (spec.script == nullptr && spec.fuzzed)
+    fz = static_cast<FuzzedSchedule*>(inner.get());
+  if (record) {
+    auto wrapped = std::make_unique<RecordingSchedule>(std::move(inner));
+    rec = wrapped.get();
+    inner = std::move(wrapped);
+  }
+
+  consensus::ScanConfig sc;
+  sc.n = spec.n;
+  sc.seed = spec.seed;
+  consensus::ScanConsensus scan(sc, agreement::uniform_task(kSupportMax),
+                                std::move(inner));
+
+  WorkAccountingOracle work;
+  ConsensusOracle cons(scan);
+  OracleSet set;
+  set.add(&work);
+  set.add(&cons);
+  scan.simulator().set_observer(&set);
+
+  try {
+    scan.simulator().run(
+        spec.budget, [&] { return set.failed(); }, kPollInterval);
+    set.finish(scan.simulator());
+    if (const Oracle* o = set.first_failing()) {
+      out.failed = true;
+      out.oracle = o->name();
+      out.message = o->failures().front();
+    }
+  } catch (const std::exception& e) {
+    out.failed = true;
+    out.oracle = "exception";
+    out.message = e.what();
+  }
+  if (fz != nullptr) out.schedule_desc = fz->describe();
+  if (rec != nullptr) out.trace = rec->trace();
+  return out;
+}
+
+/// Shrink: find the shortest grant-trace prefix that still trips the same
+/// oracle, by binary search over the prefix length (replays are cheap and
+/// fully deterministic, so ~log2(trace) re-runs).
+void shrink_failure(const FuzzConfig& cfg, FuzzFailure& f) {
+  TrialSpec ts = make_trial_spec(cfg, f.trial);
+  const TrialOutcome recorded = run_trial(ts, cfg, /*record=*/true);
+  if (!recorded.failed || recorded.trace.empty()) return;
+
+  std::vector<std::size_t> prefix;
+  auto fails_with = [&](std::size_t len) {
+    prefix.assign(recorded.trace.begin(),
+                  recorded.trace.begin() +
+                      static_cast<std::ptrdiff_t>(len));
+    TrialSpec rs = ts;
+    rs.fuzzed = false;
+    rs.script = &prefix;
+    const TrialOutcome o = run_trial(rs, cfg, false);
+    return o.failed && o.oracle == f.oracle;
+  };
+
+  std::size_t hi = recorded.trace.size();
+  if (!fails_with(hi)) {
+    // Should not happen (replay is exact); keep the full trace as repro.
+    f.repro_script = recorded.trace;
+    return;
+  }
+  std::size_t lo = 0;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (fails_with(mid))
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  prefix.assign(recorded.trace.begin(),
+                recorded.trace.begin() + static_cast<std::ptrdiff_t>(hi));
+  f.repro_script = std::move(prefix);
+}
+
+}  // namespace
+
+const char* fuzz_protocol_name(FuzzProtocol p) noexcept {
+  return p == FuzzProtocol::kAgreement ? "agreement" : "consensus";
+}
+
+TrialOutcome run_trial(const TrialSpec& spec, const FuzzConfig& cfg,
+                       bool record) {
+  try {
+    return spec.protocol == FuzzProtocol::kAgreement
+               ? run_agreement_trial(spec, cfg, record)
+               : run_consensus_trial(spec, cfg, record);
+  } catch (const std::exception& e) {
+    // Construction-time failures (bad config) — still a finding.
+    TrialOutcome out;
+    out.failed = true;
+    out.oracle = "exception";
+    out.message = e.what();
+    return out;
+  }
+}
+
+TrialSpec make_trial_spec(const FuzzConfig& cfg, std::size_t i) {
+  apex::Rng rng(apex::mix64(apex::mix64(cfg.seed, kTrialTag), i));
+  TrialSpec ts;
+  ts.fuzzed = true;
+  ts.seed = rng.next();
+  if (i % 2 == 0) {
+    ts.protocol = FuzzProtocol::kAgreement;
+    // n >= 6: at n=4 the clock has 4 slots, lost updates stretch phases and
+    // the legitimate clobber tail closes to within ~1 of the stale-stamp
+    // flood — no sound cap separates them.  Tiny n stays covered by the
+    // consensus trials.
+    static constexpr std::size_t kNs[] = {6, 8, 12, 16};
+    ts.n = kNs[rng.below(4)];
+    ts.budget = 20000 + 4000 * static_cast<std::uint64_t>(ts.n);
+  } else {
+    ts.protocol = FuzzProtocol::kConsensus;
+    static constexpr std::size_t kNs[] = {3, 4, 6, 8};
+    ts.n = kNs[rng.below(4)];
+    ts.budget =
+        2000 + 800 * static_cast<std::uint64_t>(ts.n) * ts.n;
+  }
+  return ts;
+}
+
+FuzzReport run_fuzz(const FuzzConfig& cfg) {
+  FuzzReport rep;
+  rep.trials = cfg.trials;
+  std::vector<std::unique_ptr<FuzzFailure>> slots(cfg.trials);
+
+  batch::SweepSpec spec;
+  spec.trials = cfg.trials;
+  spec.jobs = cfg.jobs;
+  spec.keep_going = true;
+  batch::SweepEngine().run(spec, [&](std::size_t i) {
+    const TrialSpec ts = make_trial_spec(cfg, i);
+    const TrialOutcome out = run_trial(ts, cfg, false);
+    batch::TrialResult r;
+    if (out.failed) {
+      auto f = std::make_unique<FuzzFailure>();
+      f->trial = i;
+      f->seed = ts.seed;
+      f->protocol = ts.protocol;
+      f->n = ts.n;
+      f->budget = ts.budget;
+      f->oracle = out.oracle;
+      f->message = out.message;
+      f->schedule = out.schedule_desc;
+      slots[i] = std::move(f);
+      r.ok = false;
+    }
+    return r;
+  });
+
+  bool repro_dir_ready = false;
+  for (auto& slot : slots) {
+    if (!slot) continue;
+    if (cfg.shrink) shrink_failure(cfg, *slot);
+    if (!cfg.repro_dir.empty()) {
+      Repro r;
+      r.protocol = slot->protocol;
+      r.n = slot->n;
+      r.seed = slot->seed;
+      r.budget = slot->budget;
+      r.skew_ticks = cfg.skew_ticks;
+      r.clobber_bound = cfg.clobber_bound;
+      r.oracle = slot->oracle;
+      r.script = slot->repro_script;
+      const std::string path = cfg.repro_dir + "/repro-trial" +
+                               std::to_string(slot->trial) + ".txt";
+      // A dump problem must never lose the report itself — note it on the
+      // failure and carry on.
+      try {
+        if (!repro_dir_ready) {
+          std::filesystem::create_directories(cfg.repro_dir);
+          repro_dir_ready = true;
+        }
+        write_repro(path, r);
+        slot->repro_path = path;
+      } catch (const std::exception& e) {
+        slot->message += " [repro not written: " + std::string(e.what()) +
+                         "]";
+      }
+    }
+    rep.failures.push_back(std::move(*slot));
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Repro files
+// ---------------------------------------------------------------------------
+
+void write_repro(const std::string& path, const Repro& r) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_repro: cannot open " + path);
+  out << "apex-fuzz-repro v1\n";
+  out << "protocol " << fuzz_protocol_name(r.protocol) << "\n";
+  out << "n " << r.n << "\n";
+  out << "beta " << r.beta << "\n";
+  out << "seed " << r.seed << "\n";
+  out << "budget " << r.budget << "\n";
+  out << "skew " << r.skew_ticks << "\n";
+  out << "clobber_bound " << r.clobber_bound << "\n";
+  out << "oracle " << r.oracle << "\n";
+  out << "script";
+  for (auto p : r.script) out << ' ' << p;
+  out << "\n";
+}
+
+Repro load_repro(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_repro: cannot open " + path);
+  std::string header;
+  std::getline(in, header);
+  if (header != "apex-fuzz-repro v1")
+    throw std::runtime_error("load_repro: bad header in " + path);
+  Repro r;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "protocol") {
+      std::string v;
+      ls >> v;
+      if (v == "agreement")
+        r.protocol = FuzzProtocol::kAgreement;
+      else if (v == "consensus")
+        r.protocol = FuzzProtocol::kConsensus;
+      else
+        throw std::runtime_error("load_repro: unknown protocol " + v);
+    } else if (key == "n") {
+      ls >> r.n;
+    } else if (key == "beta") {
+      ls >> r.beta;
+    } else if (key == "seed") {
+      ls >> r.seed;
+    } else if (key == "budget") {
+      ls >> r.budget;
+    } else if (key == "skew") {
+      ls >> r.skew_ticks;
+    } else if (key == "clobber_bound") {
+      ls >> r.clobber_bound;
+    } else if (key == "oracle") {
+      ls >> r.oracle;
+    } else if (key == "script") {
+      std::size_t p;
+      while (ls >> p) r.script.push_back(p);
+    } else if (!key.empty()) {
+      throw std::runtime_error("load_repro: unknown key " + key);
+    }
+  }
+  if (r.n == 0 || r.budget == 0)
+    throw std::runtime_error("load_repro: incomplete repro " + path);
+  return r;
+}
+
+TrialOutcome replay_repro(const Repro& r, const FuzzConfig& cfg) {
+  FuzzConfig replay_cfg = cfg;
+  replay_cfg.skew_ticks = r.skew_ticks;
+  replay_cfg.clobber_bound = r.clobber_bound;
+  TrialSpec ts;
+  ts.protocol = r.protocol;
+  ts.n = r.n;
+  ts.beta = r.beta;
+  ts.seed = r.seed;
+  ts.budget = r.budget;
+  if (r.script.empty())
+    ts.fuzzed = true;
+  else
+    ts.script = &r.script;
+  return run_trial(ts, replay_cfg, false);
+}
+
+}  // namespace apex::check

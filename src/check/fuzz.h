@@ -1,0 +1,115 @@
+// The adversarial fuzz driver.
+//
+// Runs a grid of protocol × fuzzed-schedule × seed trials on the
+// batch::SweepEngine, each trial watched by the full invariant-oracle set
+// (oracle.h).  Everything is deterministic in (config seed, trial index):
+// output is byte-identical for every --jobs value, and a failing trial is
+// re-run, SHRUNK and dumped as a replayable repro file from its index
+// alone.
+//
+// Shrinking: the failing trial is re-run under a RecordingSchedule to
+// capture the exact grant trace up to the violation, then the shortest
+// prefix that still reproduces the same oracle failure is found by binary
+// search; the result is a minimal ScriptedSchedule (round-robin beyond the
+// prefix) — usually a few hundred grants instead of an opaque seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/fuzz_schedule.h"
+#include "check/oracle.h"
+
+namespace apex::check {
+
+enum class FuzzProtocol { kAgreement, kConsensus };
+const char* fuzz_protocol_name(FuzzProtocol p) noexcept;
+
+struct FuzzConfig {
+  std::size_t trials = 100;
+  std::size_t jobs = 1;        ///< SweepEngine workers; 0 = all hardware.
+  std::uint64_t seed = 1;      ///< Corpus base seed.
+  bool shrink = true;          ///< Shrink failures to a minimal prefix.
+  std::string repro_dir;       ///< When set, dump repro files here.
+  /// Oracle tolerances (see oracle.h).
+  std::uint64_t skew_ticks = 2;
+  std::uint32_t clobber_bound = 0;  ///< 0 = ClobberOracle::default_bound.
+};
+
+/// One fully-specified trial (also the self-test's and replayer's entry
+/// point).  Adversary precedence: script > fuzzed > kind.
+struct TrialSpec {
+  FuzzProtocol protocol = FuzzProtocol::kAgreement;
+  std::size_t n = 8;
+  std::size_t beta = 8;
+  std::uint64_t seed = 1;
+  std::uint64_t budget = 40000;
+  const std::vector<std::size_t>* script = nullptr;  ///< Replay a grant trace.
+  bool fuzzed = false;  ///< FuzzedSchedule(n, seed) adversary.
+  sim::ScheduleKind kind = sim::ScheduleKind::kUniformRandom;
+};
+
+struct TrialOutcome {
+  bool failed = false;
+  std::string oracle;    ///< First failing oracle, or "exception".
+  std::string message;
+  std::string schedule_desc;
+  std::vector<std::size_t> trace;  ///< Grant trace (record=true only).
+};
+
+/// Run one trial with the oracle set attached; record=true captures the
+/// grant trace.  Never throws: run-time exceptions become an "exception"
+/// outcome (they are findings too).
+TrialOutcome run_trial(const TrialSpec& spec, const FuzzConfig& cfg,
+                       bool record = false);
+
+/// The deterministic trial grid point for index `i` under `cfg`.
+TrialSpec make_trial_spec(const FuzzConfig& cfg, std::size_t i);
+
+struct FuzzFailure {
+  std::size_t trial = 0;
+  std::uint64_t seed = 0;
+  FuzzProtocol protocol = FuzzProtocol::kAgreement;
+  std::size_t n = 0;
+  std::uint64_t budget = 0;
+  std::string oracle;
+  std::string message;
+  std::string schedule;
+  std::vector<std::size_t> repro_script;  ///< Shrunk grant prefix.
+  std::string repro_path;                 ///< File dumped (repro_dir set).
+};
+
+struct FuzzReport {
+  std::size_t trials = 0;
+  std::vector<FuzzFailure> failures;  ///< Ascending trial index.
+  bool ok() const noexcept { return failures.empty(); }
+};
+
+FuzzReport run_fuzz(const FuzzConfig& cfg);
+
+// ---- Repro files ----------------------------------------------------------
+
+struct Repro {
+  FuzzProtocol protocol = FuzzProtocol::kAgreement;
+  std::size_t n = 0;
+  std::size_t beta = 8;
+  std::uint64_t seed = 0;
+  std::uint64_t budget = 0;
+  /// Oracle tolerances the failure was found under (replay uses these, not
+  /// the replayer's defaults).
+  std::uint64_t skew_ticks = 2;
+  std::uint32_t clobber_bound = 0;
+  std::string oracle;                 ///< Expected failing oracle.
+  std::vector<std::size_t> script;    ///< Empty: replay the fuzzed seed.
+};
+
+void write_repro(const std::string& path, const Repro& r);
+Repro load_repro(const std::string& path);
+
+/// Re-run a repro with fresh oracles.  Returns the observed outcome; the
+/// repro "reproduces" when outcome.failed and outcome.oracle == r.oracle.
+TrialOutcome replay_repro(const Repro& r, const FuzzConfig& cfg);
+
+}  // namespace apex::check

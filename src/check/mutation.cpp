@@ -1,0 +1,23 @@
+#include "check/mutation.h"
+
+namespace apex::check {
+
+const char* mutation_name(Mutation m) noexcept {
+  switch (m) {
+    case Mutation::kNone: return "none";
+    case Mutation::kCopyOffByOne: return "copy_off_by_one";
+    case Mutation::kStaleStamp: return "stale_stamp";
+    case Mutation::kClockDoubleIncrement: return "clock_double_increment";
+    case Mutation::kConsensusDecideOwn: return "consensus_decide_own";
+    case Mutation::kWorkDoubleCharge: return "work_double_charge";
+  }
+  return "?";
+}
+
+std::vector<Mutation> all_mutations() {
+  return {Mutation::kCopyOffByOne, Mutation::kStaleStamp,
+          Mutation::kClockDoubleIncrement, Mutation::kConsensusDecideOwn,
+          Mutation::kWorkDoubleCharge};
+}
+
+}  // namespace apex::check

@@ -1,0 +1,86 @@
+#include "check/selftest.h"
+
+#include <algorithm>
+
+namespace apex::check {
+
+namespace {
+
+/// The canonical trial each mutation is exercised under.  Uniform-random
+/// schedules keep every processor active (so the mutated code path runs);
+/// budgets are sized so the run crosses at least two clock phases (the
+/// stale-stamp mutation only bites from phase 2 on) and, for consensus,
+/// runs to completion (decisions are checked at finish).
+TrialSpec case_spec(Mutation m) {
+  TrialSpec ts;
+  ts.seed = 20260727;
+  switch (m) {
+    case Mutation::kConsensusDecideOwn:
+      ts.protocol = FuzzProtocol::kConsensus;
+      ts.n = 6;
+      ts.budget = 200000;
+      ts.kind = sim::ScheduleKind::kRoundRobin;
+      break;
+    case Mutation::kStaleStamp:
+      ts.protocol = FuzzProtocol::kAgreement;
+      ts.n = 8;
+      ts.budget = 120000;
+      ts.kind = sim::ScheduleKind::kUniformRandom;
+      break;
+    default:
+      ts.protocol = FuzzProtocol::kAgreement;
+      ts.n = 8;
+      ts.budget = 60000;
+      ts.kind = sim::ScheduleKind::kUniformRandom;
+      break;
+  }
+  return ts;
+}
+
+const char* designated_oracle(Mutation m) {
+  switch (m) {
+    case Mutation::kCopyOffByOne: return "bin_array";
+    case Mutation::kStaleStamp: return "clobber_bound";
+    case Mutation::kClockDoubleIncrement: return "phase_clock";
+    case Mutation::kConsensusDecideOwn: return "consensus";
+    case Mutation::kWorkDoubleCharge: return "work_accounting";
+    case Mutation::kNone: break;
+  }
+  return "";
+}
+
+}  // namespace
+
+std::vector<SelfTestCase> run_selftest() {
+  std::vector<SelfTestCase> cases;
+  const FuzzConfig cfg;  // default oracle tolerances — what the fuzzer uses
+
+  for (Mutation m : all_mutations()) {
+    SelfTestCase c;
+    c.mutation = m;
+    c.expected_oracle = designated_oracle(m);
+    const TrialSpec ts = case_spec(m);
+
+    {
+      ScopedMutation guard(m);
+      const TrialOutcome out = run_trial(ts, cfg, false);
+      c.caught = out.failed && out.oracle == c.expected_oracle;
+      c.detail = out.failed
+                     ? out.message
+                     : std::string("mutation ran undetected (no oracle "
+                                   "fired within budget)");
+      if (out.failed && out.oracle != c.expected_oracle)
+        c.detail = "wrong oracle fired: " + out.message;
+    }
+    {
+      const TrialOutcome out = run_trial(ts, cfg, false);
+      c.clean_baseline = !out.failed;
+      if (out.failed)
+        c.detail += " [baseline not clean: " + out.message + "]";
+    }
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+}  // namespace apex::check

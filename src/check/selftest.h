@@ -1,0 +1,37 @@
+// Oracle self-test: prove the checkers aren't vacuous.
+//
+// For every Mutation (a small, deliberate protocol bug behind a thread-
+// local gate — see mutation.h) this runs a canonical trial twice:
+//   1. with the mutation ON  — the DESIGNATED oracle must report a failure;
+//   2. with the mutation OFF — the whole oracle set must stay clean
+//      (same trial, so a flaky tolerance would show up here).
+// A fuzzer whose oracles pass this is known to be able to see each class
+// of bug it claims to check for.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/fuzz.h"
+#include "check/mutation.h"
+
+namespace apex::check {
+
+struct SelfTestCase {
+  Mutation mutation = Mutation::kNone;
+  const char* expected_oracle = "";
+  bool caught = false;          ///< Designated oracle fired under mutation.
+  bool clean_baseline = false;  ///< No oracle fired without the mutation.
+  std::string detail;           ///< The failure message observed (or why not).
+};
+
+/// Run every mutation's case.  Deterministic; a few hundred ms.
+std::vector<SelfTestCase> run_selftest();
+
+inline bool selftest_ok(const std::vector<SelfTestCase>& cases) {
+  for (const auto& c : cases)
+    if (!c.caught || !c.clean_baseline) return false;
+  return !cases.empty();
+}
+
+}  // namespace apex::check

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/mutation.h"
+
 namespace apex::clockx {
 
 PhaseClock::PhaseClock(sim::Memory& mem, ClockConfig cfg) : mem_(&mem) {
@@ -20,7 +22,10 @@ PhaseClock::PhaseClock(sim::Memory& mem, ClockConfig cfg) : mem_(&mem) {
 sim::SubTask<void> PhaseClock::update(sim::Ctx& ctx) {
   const std::size_t r = static_cast<std::size_t>(ctx.rng().below(m_));
   const sim::Cell c = co_await ctx.read(base_ + r);
-  co_await ctx.write(base_ + r, c.value + 1, 0);
+  sim::Word inc = 1;
+  if (check::mutation_enabled(check::Mutation::kClockDoubleIncrement))
+    inc = 2;
+  co_await ctx.write(base_ + r, c.value + inc, 0);
 }
 
 sim::SubTask<std::uint64_t> PhaseClock::read(sim::Ctx& ctx) {

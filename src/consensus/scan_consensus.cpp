@@ -1,13 +1,20 @@
 #include "consensus/scan_consensus.h"
 
+#include "check/mutation.h"
+
 namespace apex::consensus {
 
 ScanConsensus::ScanConsensus(ScanConfig cfg, agreement::TaskFn task)
+    : ScanConsensus(cfg, std::move(task), nullptr) {}
+
+ScanConsensus::ScanConsensus(ScanConfig cfg, agreement::TaskFn task,
+                             std::unique_ptr<sim::Schedule> schedule)
     : cfg_(cfg), task_(std::move(task)) {
   apex::SeedTree seeds{cfg.seed};
-  sim_ = std::make_unique<sim::Simulator>(
-      sim::SimConfig{cfg.n, 0, cfg.seed},
-      sim::make_schedule(cfg.schedule, cfg.n, seeds.schedule()));
+  if (!schedule)
+    schedule = sim::make_schedule(cfg.schedule, cfg.n, seeds.schedule());
+  sim_ = std::make_unique<sim::Simulator>(sim::SimConfig{cfg.n, 0, cfg.seed},
+                                          std::move(schedule));
   reg_base_ = sim_->memory().extend(cfg.n * cfg.n);
   decisions_.assign(cfg.n,
                     std::vector<std::optional<sim::Word>>(cfg.n, std::nullopt));
@@ -43,6 +50,8 @@ sim::ProcTask ScanConsensus::proc(sim::Ctx& ctx) {
       }
       if (all) {
         decided = first;
+        if (check::mutation_enabled(check::Mutation::kConsensusDecideOwn))
+          decided = mine.value_or(0);
         break;
       }
     }

@@ -46,6 +46,11 @@ class ScanConsensus {
   /// sides of E10 agree on identical inputs).
   ScanConsensus(ScanConfig cfg, agreement::TaskFn task);
 
+  /// As above, but under an explicit adversary (the fuzzer's entry point).
+  /// `schedule` must be built for cfg.n processors; cfg.schedule is ignored.
+  ScanConsensus(ScanConfig cfg, agreement::TaskFn task,
+                std::unique_ptr<sim::Schedule> schedule);
+
   struct Result {
     bool completed = false;       ///< Every processor decided every value.
     std::uint64_t total_work = 0;
@@ -60,6 +65,11 @@ class ScanConsensus {
   }
 
   sim::Simulator& simulator() noexcept { return *sim_; }
+
+  /// Register layout for out-of-band inspectors: R[i][p] lives at
+  /// register_base() + i*n + p, stamped 1 once written.
+  std::size_t register_base() const noexcept { return reg_base_; }
+  std::size_t values() const noexcept { return cfg_.n; }
 
  private:
   sim::ProcTask proc(sim::Ctx& ctx);

@@ -14,6 +14,7 @@
 //   exec/       the execution scheme (nondet + det baseline)     (apex::exec)
 //   consensus/  classical-style O(n^2)-per-value baseline        (apex::consensus)
 //   host/       std::thread port of the protocol                 (apex::host)
+//   check/      schedule fuzzer + invariant oracles + self-test  (apex::check)
 //
 // Quick start (see examples/quickstart.cpp):
 //
@@ -28,6 +29,11 @@
 #include "agreement/inspect.h"        // IWYU pragma: export
 #include "agreement/protocol.h"       // IWYU pragma: export
 #include "agreement/testbed.h"        // IWYU pragma: export
+#include "check/fuzz.h"               // IWYU pragma: export
+#include "check/fuzz_schedule.h"      // IWYU pragma: export
+#include "check/mutation.h"           // IWYU pragma: export
+#include "check/oracle.h"             // IWYU pragma: export
+#include "check/selftest.h"           // IWYU pragma: export
 #include "trace/timeline.h"           // IWYU pragma: export
 #include "clock/phase_clock.h"        // IWYU pragma: export
 #include "consensus/scan_consensus.h" // IWYU pragma: export

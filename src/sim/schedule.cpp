@@ -95,6 +95,8 @@ const char* schedule_kind_name(ScheduleKind k) noexcept {
     case ScheduleKind::kPowerLaw: return "power_law";
     case ScheduleKind::kSleeper: return "sleeper";
     case ScheduleKind::kBurst: return "burst";
+    case ScheduleKind::kCrash: return "crash";
+    case ScheduleKind::kRate: return "rate";
   }
   return "?";
 }
@@ -119,14 +121,32 @@ std::unique_ptr<Schedule> make_schedule(ScheduleKind kind, std::size_t nprocs,
     }
     case ScheduleKind::kBurst:
       return std::make_unique<BurstSchedule>(nprocs, 0.95, rng);
+    case ScheduleKind::kCrash: {
+      // First half of the processors die at staggered times; the rest
+      // survive (CrashSchedule requires >= 1 survivor by construction).
+      std::vector<std::uint64_t> crash(nprocs, ~0ULL);
+      for (std::size_t i = 0; i < nprocs / 2; ++i)
+        crash[i] = 32 * static_cast<std::uint64_t>(nprocs) *
+                   static_cast<std::uint64_t>(i + 1);
+      return std::make_unique<CrashSchedule>(nprocs, std::move(crash), rng);
+    }
+    case ScheduleKind::kRate: {
+      // Linear speed ramp: processor i runs at rate i+1 (the fastest is n
+      // times the slowest — a milder skew than the power law).
+      std::vector<double> rates(nprocs);
+      for (std::size_t i = 0; i < nprocs; ++i)
+        rates[i] = static_cast<double>(i + 1);
+      return std::make_unique<RateSchedule>(std::move(rates), rng);
+    }
   }
   throw std::invalid_argument("make_schedule: unknown kind");
 }
 
 std::vector<ScheduleKind> all_schedule_kinds() {
   return {ScheduleKind::kRoundRobin, ScheduleKind::kUniformRandom,
-          ScheduleKind::kPowerLaw, ScheduleKind::kSleeper,
-          ScheduleKind::kBurst};
+          ScheduleKind::kPowerLaw,   ScheduleKind::kSleeper,
+          ScheduleKind::kBurst,      ScheduleKind::kCrash,
+          ScheduleKind::kRate};
 }
 
 }  // namespace apex::sim

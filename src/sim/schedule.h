@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/rng.h"
@@ -120,12 +121,22 @@ class CrashSchedule final : public Schedule {
   apex::Rng rng_;
 };
 
-/// Fixed script of grants (for unit tests and the Fig. 3 reproduction),
-/// falling back to round-robin when the script is exhausted.
+/// What a ScriptedSchedule does once its script runs out.
+enum class ScriptExhaust {
+  kRoundRobin,  ///< Continue with round-robin (t mod n) — replayable prefixes.
+  kThrow,       ///< Throw std::out_of_range — scripts meant to cover the run.
+};
+
+/// Fixed script of grants (for unit tests, the Fig. 3 reproduction, and
+/// fuzzer repro files).  The exhaustion policy is explicit: the historical
+/// behavior (silent round-robin fallback) is kRoundRobin and remains the
+/// default because shrunk fuzz repros are prefixes that rely on it; tests
+/// that must not outlive their script use kThrow.
 class ScriptedSchedule final : public Schedule {
  public:
-  ScriptedSchedule(std::size_t nprocs, std::vector<std::size_t> script)
-      : Schedule(nprocs), script_(std::move(script)) {
+  ScriptedSchedule(std::size_t nprocs, std::vector<std::size_t> script,
+                   ScriptExhaust exhaust = ScriptExhaust::kRoundRobin)
+      : Schedule(nprocs), script_(std::move(script)), exhaust_(exhaust) {
     for (auto p : script_)
       if (p >= nprocs)
         throw std::invalid_argument("ScriptedSchedule: proc out of range");
@@ -133,11 +144,18 @@ class ScriptedSchedule final : public Schedule {
 
   std::size_t next(std::uint64_t t) override {
     if (pos_ < script_.size()) return script_[pos_++];
+    if (exhaust_ == ScriptExhaust::kThrow)
+      throw std::out_of_range("ScriptedSchedule: script exhausted at t=" +
+                              std::to_string(t));
     return static_cast<std::size_t>(t % nprocs_);
   }
 
+  std::size_t script_size() const noexcept { return script_.size(); }
+  ScriptExhaust exhaust_policy() const noexcept { return exhaust_; }
+
  private:
   std::vector<std::size_t> script_;
+  ScriptExhaust exhaust_;
   std::size_t pos_ = 0;
 };
 
@@ -198,13 +216,16 @@ enum class ScheduleKind {
   kPowerLaw,
   kSleeper,
   kBurst,
+  kCrash,
+  kRate,
 };
 
 const char* schedule_kind_name(ScheduleKind k) noexcept;
 
 /// Build a schedule of the given kind with canonical parameters
 /// (power-law alpha=1.2; sleepers = n/8 procs, period 64n, burst 4n;
-/// burst continue prob 0.95).
+/// burst continue prob 0.95; crash = first half of the procs die at
+/// staggered times 32n(i+1); rate = linear ramp r_i = i+1).
 std::unique_ptr<Schedule> make_schedule(ScheduleKind kind, std::size_t nprocs,
                                         apex::Rng rng);
 

@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include "check/mutation.h"
+
 namespace apex::sim {
 
 Simulator::Simulator(SimConfig cfg, std::unique_ptr<Schedule> schedule)
@@ -70,6 +72,9 @@ bool Simulator::grant(std::size_t p) {
 
   ps.steps += 1;
   work_ += 1;
+  if (check::mutation_enabled(check::Mutation::kWorkDoubleCharge) &&
+      ev.op.kind == Op::Kind::Local)
+    work_ += 1;  // self-test mutation: charge twice, emit one event
   if (observer_ != nullptr) observer_->on_step(ev);
   return true;
 }

@@ -88,6 +88,7 @@ TEST(Crash, RequiresSurvivor) {
 
 TEST(Scripted, PlaysScriptThenRoundRobin) {
   ScriptedSchedule s(3, {2, 2, 0});
+  EXPECT_EQ(s.exhaust_policy(), ScriptExhaust::kRoundRobin);
   EXPECT_EQ(s.next(0), 2u);
   EXPECT_EQ(s.next(1), 2u);
   EXPECT_EQ(s.next(2), 0u);
@@ -95,8 +96,27 @@ TEST(Scripted, PlaysScriptThenRoundRobin) {
   EXPECT_EQ(s.next(4), 1u);
 }
 
+TEST(Scripted, ThrowPolicyRejectsExhaustion) {
+  ScriptedSchedule s(3, {1, 0}, ScriptExhaust::kThrow);
+  EXPECT_EQ(s.next(0), 1u);
+  EXPECT_EQ(s.next(1), 0u);
+  EXPECT_THROW(s.next(2), std::out_of_range);
+  // Exhaustion is sticky: every later grant attempt throws too.
+  EXPECT_THROW(s.next(3), std::out_of_range);
+}
+
+TEST(Scripted, EmptyScriptBehavesPerPolicy) {
+  ScriptedSchedule fallback(2, {});
+  EXPECT_EQ(fallback.next(0), 0u);
+  EXPECT_EQ(fallback.next(1), 1u);
+  ScriptedSchedule strict(2, {}, ScriptExhaust::kThrow);
+  EXPECT_THROW(strict.next(0), std::out_of_range);
+}
+
 TEST(Scripted, ValidatesProcRange) {
   EXPECT_THROW(ScriptedSchedule(2, {0, 5}), std::invalid_argument);
+  EXPECT_THROW(ScriptedSchedule(2, {0, 5}, ScriptExhaust::kThrow),
+               std::invalid_argument);
 }
 
 TEST(Burst, ProducesRuns) {
@@ -126,6 +146,38 @@ TEST(Factory, BuildsEveryKind) {
     EXPECT_TRUE(s->is_oblivious());
     for (std::uint64_t t = 0; t < 100; ++t) EXPECT_LT(s->next(t), 16u);
   }
+}
+
+TEST(Factory, CoversFullAdversaryFamily) {
+  const auto kinds = all_schedule_kinds();
+  auto has = [&](ScheduleKind k) {
+    for (auto kk : kinds)
+      if (kk == k) return true;
+    return false;
+  };
+  EXPECT_TRUE(has(ScheduleKind::kCrash));
+  EXPECT_TRUE(has(ScheduleKind::kRate));
+  EXPECT_EQ(kinds.size(), 7u);
+}
+
+TEST(Factory, CanonicalCrashKillsFirstHalfOnly) {
+  const std::size_t n = 8;
+  auto s = make_schedule(ScheduleKind::kCrash, n, apex::Rng(11));
+  // Past the last staggered deadline (32n * n/2), only the surviving upper
+  // half may be granted.
+  const std::uint64_t horizon = 32 * n * (n / 2);
+  for (std::uint64_t t = horizon; t < horizon + 4000; ++t)
+    EXPECT_GE(s->next(t), n / 2) << "t=" << t;
+}
+
+TEST(Factory, CanonicalRateFavorsFasterProcs) {
+  const std::size_t n = 8;
+  auto s = make_schedule(ScheduleKind::kRate, n, apex::Rng(13));
+  std::vector<int> counts(n, 0);
+  for (std::uint64_t t = 0; t < 72000; ++t) ++counts[s->next(t)];
+  // Linear ramp: proc n-1 runs ~n times as often as proc 0.
+  EXPECT_GT(counts[n - 1], 4 * counts[0]);
+  for (auto c : counts) EXPECT_GT(c, 0);
 }
 
 TEST(Factory, NamesAreDistinct) {

@@ -193,6 +193,92 @@ TEST(Simulator, SpawnAfterRunThrows) {
                std::logic_error);
 }
 
+TEST(Simulator, SpawnAfterZeroStepRunStillThrows) {
+  // run(0) consumes no work but marks the simulation started.
+  auto sim = make_sim(1, 2);
+  sim.spawn([&](Ctx& c) { return single_local(c); });
+  const auto res = sim.run(0);
+  EXPECT_EQ(res.work, 0u);
+  EXPECT_THROW(sim.spawn([&](Ctx& c) { return single_local(c); }),
+               std::logic_error);
+}
+
+TEST(Simulator, RepeatedRunsAccumulateTotalWorkExactly) {
+  auto sim = make_sim(1, 2);
+  sim.spawn([&](Ctx& c) { return waiter(c, 0, 1); });  // spins forever
+  std::uint64_t expected = 0;
+  for (std::uint64_t chunk : {7u, 1u, 64u, 128u, 3u}) {
+    const auto res = sim.run(chunk);
+    EXPECT_EQ(res.work, chunk);
+    expected += chunk;
+    EXPECT_EQ(sim.total_work(), expected);
+    EXPECT_EQ(sim.proc_steps(0), expected);
+  }
+}
+
+TEST(Simulator, StopPredicateHonoredAtCheckIntervalBoundaries) {
+  // The predicate is evaluated when this run()'s consumed work is a
+  // multiple of check_interval; a predicate that is true from the start
+  // stops the run before ANY work, and a predicate becoming true mid-run
+  // stops at the next multiple.
+  auto sim = make_sim(1, 2);
+  sim.spawn([&](Ctx& c) { return waiter(c, 0, 1); });
+
+  const auto at_zero = sim.run(
+      1000, [] { return true; }, 7);
+  EXPECT_TRUE(at_zero.predicate_hit);
+  EXPECT_EQ(at_zero.work, 0u);
+  EXPECT_EQ(sim.total_work(), 0u);
+
+  const auto mid = sim.run(
+      1000, [&] { return sim.total_work() >= 10; }, 7);
+  EXPECT_TRUE(mid.predicate_hit);
+  EXPECT_EQ(mid.work, 14u);  // first multiple of 7 at which total >= 10
+
+  // check_interval = 0 is clamped to 1: the predicate fires exactly at the
+  // requested threshold.
+  const auto every = sim.run(
+      1000, [&] { return sim.total_work() >= 17; }, 0);
+  EXPECT_TRUE(every.predicate_hit);
+  EXPECT_EQ(sim.total_work(), 17u);
+}
+
+// Counts every event and verifies gapless, exactly-once delivery.
+class GrantCounter final : public StepObserver {
+ public:
+  std::uint64_t events = 0;
+  std::vector<std::uint64_t> per_proc;
+  bool gapless = true;
+  void on_step(const StepEvent& ev) override {
+    gapless &= (ev.time == events);
+    ++events;
+    if (ev.proc >= per_proc.size()) per_proc.resize(ev.proc + 1, 0);
+    ++per_proc[ev.proc];
+  }
+};
+
+TEST(Simulator, ObserverSeesEveryGrantExactlyOnce) {
+  // One proc finishes early: later schedule grants to it produce NO events
+  // and charge NO work, so events must still reconcile exactly.
+  auto sim = make_sim(3, 8);
+  sim.spawn([&](Ctx& c) { return single_local(c); });
+  sim.spawn([&](Ctx& c) { return incrementer(c, 0, 10); });
+  sim.spawn([&](Ctx& c) { return incrementer(c, 1, 7); });
+  GrantCounter rec;
+  sim.set_observer(&rec);
+  const auto res = sim.run(100000);
+  EXPECT_TRUE(res.all_finished);
+  EXPECT_TRUE(rec.gapless);
+  EXPECT_EQ(rec.events, sim.total_work());
+  ASSERT_EQ(rec.per_proc.size(), 3u);
+  std::uint64_t sum = 0;
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(rec.per_proc[p], sim.proc_steps(p)) << "proc " << p;
+    sum += rec.per_proc[p];
+  }
+  EXPECT_EQ(sum, sim.total_work());
+}
+
 TEST(Simulator, CtxReportsIdentityAndSize) {
   auto sim = make_sim(3, 4);
   std::vector<std::size_t> ids;

@@ -21,6 +21,16 @@
 //       threads) and print per-config work statistics.  Output is
 //       byte-identical for every --jobs value.
 //
+//   apexcli fuzz   [--trials=500] [--jobs=1] [--seed=1] [--no-shrink]
+//                  [--repro-dir=DIR] [--replay=FILE] [--selftest]
+//       adversarial scenario fuzzing (src/check): run protocol x
+//       fuzzed-schedule x seed trials with the invariant oracles attached,
+//       shrink any failure to a minimal scripted-schedule prefix, and
+//       (with --repro-dir) dump replayable repro files.  Output is
+//       byte-identical for every --jobs value.  --replay re-runs a repro
+//       file (exit 0 = failure reproduced); --selftest proves each oracle
+//       catches its injected protocol mutation.
+//
 //   apexcli sched
 //       list the adversary schedule family.
 //
@@ -341,6 +351,87 @@ int cmd_sched() {
   return 0;
 }
 
+int cmd_fuzz(const Args& a) {
+  if (a.kv.count("selftest")) {
+    const auto cases = check::run_selftest();
+    Table t({"mutation", "oracle", "caught", "baseline_clean"});
+    for (const auto& c : cases)
+      t.row()
+          .cell(check::mutation_name(c.mutation))
+          .cell(c.expected_oracle)
+          .cell(c.caught ? "yes" : "NO")
+          .cell(c.clean_baseline ? "yes" : "NO");
+    t.print(std::cout);
+    for (const auto& c : cases)
+      if (!c.caught || !c.clean_baseline)
+        std::printf("FAIL %s: %s\n", check::mutation_name(c.mutation),
+                    c.detail.c_str());
+    const bool ok = check::selftest_ok(cases);
+    std::printf("oracle self-test: %s (%zu mutations)\n",
+                ok ? "all mutations caught" : "NOT all mutations caught",
+                cases.size());
+    return ok ? 0 : 1;
+  }
+
+  check::FuzzConfig cfg;
+  cfg.skew_ticks = a.u64("skew", 2);
+  cfg.clobber_bound = static_cast<std::uint32_t>(a.u64("clobber-bound", 0));
+
+  if (a.kv.count("replay")) {
+    check::Repro repro;
+    try {
+      repro = check::load_repro(a.str("replay", ""));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    const auto out = check::replay_repro(repro, cfg);
+    std::printf("replay: protocol=%s n=%zu seed=%llu budget=%llu "
+                "script=%zu grants\n",
+                check::fuzz_protocol_name(repro.protocol), repro.n,
+                static_cast<unsigned long long>(repro.seed),
+                static_cast<unsigned long long>(repro.budget),
+                repro.script.size());
+    if (out.failed)
+      std::printf("  outcome: FAILED %s: %s\n", out.oracle.c_str(),
+                  out.message.c_str());
+    else
+      std::printf("  outcome: clean (no oracle fired)\n");
+    const bool reproduced = out.failed && out.oracle == repro.oracle;
+    std::printf("  expected oracle '%s' %s\n", repro.oracle.c_str(),
+                reproduced ? "reproduced" : "did NOT reproduce");
+    return reproduced ? 0 : 1;
+  }
+
+  cfg.trials = a.u64("trials", 500);
+  cfg.jobs = a.u64("jobs", 1);
+  cfg.seed = a.u64("seed", 1);
+  cfg.shrink = !a.kv.count("no-shrink");
+  cfg.repro_dir = a.str("repro-dir", "");
+
+  const auto rep = check::run_fuzz(cfg);
+  std::printf("fuzz: %zu trials (agreement+consensus x fuzzed oblivious "
+              "schedules), seed=%llu\n",
+              rep.trials, static_cast<unsigned long long>(cfg.seed));
+  for (const auto& f : rep.failures) {
+    std::printf("FAILURE trial=%zu protocol=%s n=%zu seed=%llu oracle=%s\n",
+                f.trial, check::fuzz_protocol_name(f.protocol), f.n,
+                static_cast<unsigned long long>(f.seed), f.oracle.c_str());
+    std::printf("  %s\n", f.message.c_str());
+    if (!f.schedule.empty())
+      std::printf("  schedule: %.200s\n", f.schedule.c_str());
+    if (!f.repro_script.empty())
+      std::printf("  shrunk to %zu-grant scripted prefix\n",
+                  f.repro_script.size());
+    if (!f.repro_path.empty())
+      std::printf("  repro: %s\n", f.repro_path.c_str());
+  }
+  std::printf("fuzz verdict: %s (%zu failures)\n",
+              rep.ok() ? "PASS — all invariants held" : "FAIL",
+              rep.failures.size());
+  return rep.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -349,15 +440,18 @@ int main(int argc, char** argv) {
   if (a.cmd == "exec") return cmd_exec(a);
   if (a.cmd == "host") return cmd_host(a);
   if (a.cmd == "sweep") return cmd_sweep(a);
+  if (a.cmd == "fuzz") return cmd_fuzz(a);
   if (a.cmd == "sched") return cmd_sched();
   std::printf(
-      "usage: apexcli <agree|exec|host|sweep|sched> [--key=value ...]\n"
+      "usage: apexcli <agree|exec|host|sweep|fuzz|sched> [--key=value ...]\n"
       "  agree --n=64 --sched=uniform --seed=1 --beta=8\n"
       "  exec  --workload=luby|leader|ring|coins|probe|prefix|sort|reduction\n"
       "        --n=8 --scheme=nondet|det --sched=uniform --seed=1\n"
       "  host  --threads=4 --seed=1\n"
       "  sweep --n=16,32,64 --sched=uniform,burst --seeds=3 --jobs=1 --beta=8\n"
       "        [--csv]\n"
+      "  fuzz  --trials=500 --jobs=1 --seed=1 [--no-shrink]\n"
+      "        [--repro-dir=DIR] [--replay=FILE] [--selftest]\n"
       "  sched\n");
   return a.cmd.empty() ? 0 : 2;
 }
