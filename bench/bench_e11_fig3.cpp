@@ -47,6 +47,10 @@ class SteeredSchedule final : public sim::Schedule {
   using Schedule::Schedule;
   std::size_t current = 0;
   std::size_t next(std::uint64_t) override { return current; }
+  // `current` is flipped by the bench between run() calls, so grants must
+  // not be drawn ahead of execution (the schedule stays oblivious in the
+  // model sense: the pattern never reads protocol values).
+  bool is_prefetchable() const noexcept override { return false; }
 };
 
 /// Counts completed cycles per processor (out-of-band).

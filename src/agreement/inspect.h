@@ -162,15 +162,9 @@ class AgreementObserverMux final : public AgreementObserver {
   std::vector<AgreementObserver*> list_;
 };
 
-class StepObserverMux final : public sim::StepObserver {
- public:
-  void add(sim::StepObserver* o) { list_.push_back(o); }
-  void on_step(const sim::StepEvent& ev) override {
-    for (auto* o : list_) o->on_step(ev);
-  }
-
- private:
-  std::vector<sim::StepObserver*> list_;
-};
+/// Step-observer fan-out is now a simulator facility (the Simulator owns a
+/// CompositeObserver chain; attach with Simulator::add_observer).  The old
+/// mux name survives for code that builds standalone chains.
+using StepObserverMux = sim::CompositeObserver;
 
 }  // namespace apex::agreement

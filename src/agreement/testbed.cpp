@@ -87,8 +87,7 @@ AgreementTestbed::AgreementTestbed(TestbedConfig cfg, TaskFn task,
 
   checker_ = std::make_unique<TheoremChecker>(*bins_, std::move(support));
   audit_ = std::make_unique<ClobberAudit>(*bins_, *clock_);
-  step_mux_.add(audit_.get());
-  sim_->set_observer(&step_mux_);
+  sim_->add_observer(audit_.get());
 
   for (std::size_t p = 0; p < cfg.n; ++p)
     sim_->spawn([this](sim::Ctx& ctx) { return agreement_proc(ctx, rt_); });

@@ -79,8 +79,9 @@ class AgreementTestbed {
   /// Must be called before run().
   void attach(AgreementObserver* obs) { obs_mux_.add(obs); }
 
-  /// Attach an extra raw step observer.
-  void attach(sim::StepObserver* obs) { step_mux_.add(obs); }
+  /// Attach an extra raw step observer: joins the simulator's observer
+  /// chain after the built-in ClobberAudit.
+  void attach(sim::StepObserver* obs) { sim_->add_observer(obs); }
 
  private:
   TestbedConfig cfg_;
@@ -91,7 +92,6 @@ class AgreementTestbed {
   std::unique_ptr<ClobberAudit> audit_;
   AgreementRuntime rt_;
   AgreementObserverMux obs_mux_;
-  StepObserverMux step_mux_;
 };
 
 }  // namespace apex::agreement

@@ -19,6 +19,14 @@ constexpr sim::Word kSupportMax = 1 << 20;
 /// close to the violation, large enough not to dominate wall time.
 constexpr std::uint64_t kPollInterval = 16;
 
+/// The batched engine may have drawn grants it never executed; the
+/// executed interleaving is exactly the first ticks() entries.
+void trim_to_executed(std::vector<std::size_t>& trace,
+                      const sim::Simulator& sim) {
+  const auto executed = static_cast<std::size_t>(sim.ticks());
+  if (trace.size() > executed) trace.resize(executed);
+}
+
 std::unique_ptr<sim::Schedule> build_adversary(const TrialSpec& spec,
                                                std::size_t nprocs,
                                                apex::Rng rng) {
@@ -79,11 +87,15 @@ TrialOutcome run_agreement_trial(const TrialSpec& spec, const FuzzConfig& cfg,
     out.message = e.what();
   }
   if (fz != nullptr) out.schedule_desc = fz->describe();
-  if (rec != nullptr) out.trace = rec->trace();
+  if (rec != nullptr) {
+    out.trace = rec->trace();
+    trim_to_executed(out.trace, tb.simulator());
+  }
   return out;
 }
 
-TrialOutcome run_consensus_trial(const TrialSpec& spec, const FuzzConfig& cfg,
+TrialOutcome run_consensus_trial(const TrialSpec& spec,
+                                 [[maybe_unused]] const FuzzConfig& cfg,
                                  bool record) {
   TrialOutcome out;
   FuzzedSchedule* fz = nullptr;
@@ -110,7 +122,7 @@ TrialOutcome run_consensus_trial(const TrialSpec& spec, const FuzzConfig& cfg,
   OracleSet set;
   set.add(&work);
   set.add(&cons);
-  scan.simulator().set_observer(&set);
+  scan.simulator().add_observer(&set);
 
   try {
     scan.simulator().run(
@@ -127,7 +139,10 @@ TrialOutcome run_consensus_trial(const TrialSpec& spec, const FuzzConfig& cfg,
     out.message = e.what();
   }
   if (fz != nullptr) out.schedule_desc = fz->describe();
-  if (rec != nullptr) out.trace = rec->trace();
+  if (rec != nullptr) {
+    out.trace = rec->trace();
+    trim_to_executed(out.trace, scan.simulator());
+  }
   return out;
 }
 

@@ -130,6 +130,17 @@ std::size_t FuzzedSchedule::next(std::uint64_t t) {
   return inner_->next(t);
 }
 
+std::size_t FuzzedSchedule::fill(std::span<std::uint32_t> grants,
+                                 std::uint64_t t0) {
+  if (grants.empty()) return 0;
+  if (remaining_ == 0) new_segment();
+  const std::size_t want = static_cast<std::size_t>(
+      std::min<std::uint64_t>(grants.size(), remaining_));
+  const std::size_t got = inner_->fill(grants.first(want), t0);
+  remaining_ -= got;
+  return got;
+}
+
 std::string FuzzedSchedule::describe() const {
   std::string out;
   for (std::size_t i = 0; i < log_.size(); ++i) {

@@ -44,6 +44,12 @@ class FuzzedSchedule final : public sim::Schedule {
 
   std::size_t next(std::uint64_t t) override;
 
+  /// Bulk grants, delegated to the current segment's adversary and returned
+  /// short at segment boundaries.  A new segment is composed only when a
+  /// grant is actually demanded of it, so segments_generated() and
+  /// describe() match the single-step engine regardless of prefetch depth.
+  std::size_t fill(std::span<std::uint32_t> grants, std::uint64_t t0) override;
+
   /// "burst(p=0.97)x812 | blackout(awake=3)x120 | ..." for the segments
   /// generated so far (capped) — goes into failure reports.
   std::string describe() const;
@@ -75,10 +81,23 @@ class RecordingSchedule final : public sim::Schedule {
     return p;
   }
 
+  std::size_t fill(std::span<std::uint32_t> grants, std::uint64_t t0) override {
+    const std::size_t n = inner_->fill(grants, t0);
+    for (std::size_t i = 0; i < n; ++i) trace_.push_back(grants[i]);
+    return n;
+  }
+
   bool is_oblivious() const noexcept override {
     return inner_->is_oblivious();
   }
 
+  bool is_prefetchable() const noexcept override {
+    return inner_->is_prefetchable();
+  }
+
+  /// Every grant DRAWN from the inner schedule, in order.  Under the batched
+  /// engine this may exceed the executed trace by a prefetched tail; trim to
+  /// Simulator::ticks() to recover exactly what ran.
   const std::vector<std::size_t>& trace() const noexcept { return trace_; }
 
  private:

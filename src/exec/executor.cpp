@@ -283,7 +283,7 @@ Executor::Executor(const pram::Program& program, Scheme scheme, ExecConfig cfg)
   }
 
   impl_->monitor.init(impl_.get());
-  sim_->set_observer(&impl_->monitor);
+  sim_->add_observer(&impl_->monitor);
 
   Impl* im = impl_.get();
   for (std::size_t p = 0; p < n; ++p)

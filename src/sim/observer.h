@@ -1,0 +1,68 @@
+// Out-of-band step observation.
+//
+// Observers run outside the A-PRAM model: they cost no work and must not
+// mutate memory.  The simulator owns ONE CompositeObserver chain; any number
+// of inspectors (testbed audits, invariant oracles, timeline recorders)
+// attach side by side via Simulator::add_observer instead of fighting over a
+// single slot.
+//
+// Performance contract: the batched grant engine selects, once per run(),
+// between an instrumented grant path (builds a StepEvent per step, delivers
+// it down the chain) and a no-observer fast path (no event construction at
+// all).  Attaching any observer therefore switches the WHOLE run to the
+// instrumented path; detach before time-critical runs.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/proc.h"
+#include "sim/word.h"
+
+namespace apex::sim {
+
+/// One executed atomic step, as seen by an observer.
+struct StepEvent {
+  std::uint64_t time = 0;   ///< Global step index (work units so far - 1).
+  std::size_t proc = 0;
+  Op op{};
+  Cell before{};            ///< Cell content before the op (reads: == after).
+  Cell after{};             ///< Cell content after the op.
+};
+
+/// Out-of-band observer.  Hooks run outside the model: they cost no work and
+/// must not mutate memory.  Used by the Lemma inspectors and the oracles.
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+  virtual void on_step(const StepEvent& ev) = 0;
+};
+
+/// Ordered fan-out chain.  Delivery order is registration order, and the
+/// chain is itself a StepObserver, so chains nest.  Not owning: callers keep
+/// their observers alive for the duration of the runs they watch.
+class CompositeObserver final : public StepObserver {
+ public:
+  void add(StepObserver* o) {
+    if (o != nullptr) list_.push_back(o);
+  }
+
+  void remove(StepObserver* o) {
+    list_.erase(std::remove(list_.begin(), list_.end(), o), list_.end());
+  }
+
+  void clear() noexcept { list_.clear(); }
+  bool empty() const noexcept { return list_.empty(); }
+  std::size_t size() const noexcept { return list_.size(); }
+
+  void on_step(const StepEvent& ev) override {
+    for (auto* o : list_) o->on_step(ev);
+  }
+
+ private:
+  std::vector<StepObserver*> list_;
+};
+
+}  // namespace apex::sim

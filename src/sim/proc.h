@@ -15,6 +15,7 @@
 // suspends the whole stack by recording the deepest handle in the Ctx.
 #pragma once
 
+#include <cassert>
 #include <coroutine>
 #include <cstddef>
 #include <cstdint>
@@ -36,6 +37,7 @@ struct Op {
   Word value = 0;  ///< Write: value to store.
   Word stamp = 0;  ///< Write: stamp to store.
 };
+
 
 /// Coroutine handle type for a top-level processor program.
 class ProcTask {
@@ -95,34 +97,109 @@ class Ctx {
   Ctx(const Ctx&) = delete;
   Ctx& operator=(const Ctx&) = delete;
 
-  /// Awaitable for one atomic step.  Yields the Cell the operation observed
-  /// (reads) or stored (writes); Local yields {}.
-  struct StepAwaiter {
+  // Awaitables for one atomic step, one statically-typed awaiter per op
+  // kind.  Each yields the Cell the operation observed (reads) or stored
+  // (writes); Local yields {}.
+  //
+  // Execution has two modes, selected once per Simulator::run():
+  //   * instrumented (fast_cells_ == nullptr): the awaiter records the op
+  //     in ctx->pending_; the scheduler loop executes it against checked
+  //     memory, reports it to the observer chain, and leaves the result in
+  //     ctx->result_.
+  //   * fast (fast_cells_ set): the awaiter executes the op INLINE at
+  //     suspension — still inside the granting step, before any other
+  //     processor runs, so the atomic point is identical — against the raw
+  //     cell array, and keeps the result in its own frame.
+  // The `inline_exec` flag remembers which mode produced the result, so a
+  // step suspended under one mode resumes correctly under the other.
+  //
+  // (A symmetric-transfer design — awaiters jumping directly into the next
+  // granted processor's frame — was tried and measured SLOWER than the
+  // batched scheduler loop: chained indirect jumps lose the return-stack-
+  // buffer prediction that the loop's call/ret pairs get for free.)
+
+  struct ReadAwaiter {
     Ctx* ctx;
-    Op op;
+    std::size_t addr;
+    Cell result{};
+    bool inline_exec = false;
 
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) noexcept {
-      ctx->pending_ = op;
-      ctx->resume_point_ = h;
+      Ctx* const c = ctx;
+      *c->resume_slot_ = h;
+      if (Cell* const cells = c->fast_cells_) {
+        assert(addr < c->fast_words_);
+        result = cells[addr];
+        c->steps_ += 1;
+        inline_exec = true;
+      } else {
+        c->pending_ = Op{Op::Kind::Read, addr, 0, 0};
+      }
     }
-    Cell await_resume() const noexcept { return ctx->result_; }
+    Cell await_resume() const noexcept {
+      return inline_exec ? result : ctx->result_;
+    }
+  };
+
+  struct WriteAwaiter {
+    Ctx* ctx;
+    std::size_t addr;
+    Word value;
+    Word stamp;
+    bool inline_exec = false;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) noexcept {
+      Ctx* const c = ctx;
+      *c->resume_slot_ = h;
+      if (Cell* const cells = c->fast_cells_) {
+        assert(addr < c->fast_words_);
+        cells[addr] = Cell{value, stamp};
+        c->steps_ += 1;
+        inline_exec = true;
+      } else {
+        c->pending_ = Op{Op::Kind::Write, addr, value, stamp};
+      }
+    }
+    Cell await_resume() const noexcept {
+      return inline_exec ? Cell{value, stamp} : ctx->result_;
+    }
+  };
+
+  struct LocalAwaiter {
+    Ctx* ctx;
+    bool inline_exec = false;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) noexcept {
+      Ctx* const c = ctx;
+      *c->resume_slot_ = h;
+      if (c->fast_cells_ != nullptr) {
+        if (c->charge_local_twice_) [[unlikely]] c->bump_extra_work();
+        c->steps_ += 1;
+        inline_exec = true;
+      } else {
+        c->pending_ = Op{Op::Kind::Local, 0, 0, 0};
+      }
+    }
+    Cell await_resume() const noexcept {
+      return inline_exec ? Cell{} : ctx->result_;
+    }
   };
 
   /// One atomic read of cell `addr` (value + stamp together).
-  StepAwaiter read(std::size_t addr) noexcept {
-    return StepAwaiter{this, Op{Op::Kind::Read, addr, 0, 0}};
+  ReadAwaiter read(std::size_t addr) noexcept {
+    return ReadAwaiter{this, addr};
   }
 
   /// One atomic write of (value, stamp) to cell `addr`.
-  StepAwaiter write(std::size_t addr, Word value, Word stamp = 0) noexcept {
-    return StepAwaiter{this, Op{Op::Kind::Write, addr, value, stamp}};
+  WriteAwaiter write(std::size_t addr, Word value, Word stamp = 0) noexcept {
+    return WriteAwaiter{this, addr, value, stamp};
   }
 
   /// One local computation step (basic op on registers, random draw, no-op).
-  StepAwaiter local() noexcept {
-    return StepAwaiter{this, Op{Op::Kind::Local, 0, 0, 0}};
-  }
+  LocalAwaiter local() noexcept { return LocalAwaiter{this}; }
 
   /// Identity of this virtual processor, in [0, nprocs).
   std::size_t id() const noexcept { return id_; }
@@ -134,7 +211,7 @@ class Ctx {
   std::size_t nprocs() const noexcept;
 
   /// Atomic steps this processor has been granted so far.
-  std::uint64_t steps() const noexcept;
+  std::uint64_t steps() const noexcept { return steps_; }
 
   /// Ask the simulator to stop at the end of the current grant
   /// (cooperative: used by driver processors that detect completion).
@@ -145,14 +222,33 @@ class Ctx {
  private:
   friend class Simulator;
 
+  /// Self-test hook (fast mode only): apply the kWorkDoubleCharge mutation.
+  /// Out of line — needs the Simulator definition.
+  void bump_extra_work() noexcept;
+
+  // Field order is deliberate: the first block is everything a fast-mode
+  // step suspension touches (see the awaiters above), packed into one cache
+  // line at the front of the object.
+  //
+  // resume_slot_ points into the Simulator's flat resume-slot array (bound
+  // at the first run()): the handle to resume on the next grant, or null
+  // once the processor has finished.  Non-null fast_cells_ switches the
+  // awaiters to inline execution against the raw cell array (stable for
+  // the duration of a run); both are (re)set by the Simulator per run().
+  std::coroutine_handle<>* resume_slot_ = nullptr;
+  Cell* fast_cells_ = nullptr;
+  std::size_t fast_words_ = 0;
+  std::uint64_t steps_ = 0;  ///< Granted steps (work units) so far.
+  bool charge_local_twice_ = false;
+
+  // Warm state (protocol-side accessors, instrumented mode).
   Simulator* sim_;
   std::size_t id_;
   apex::Rng rng_;
 
-  // Suspended-step state, managed by StepAwaiter and the Simulator.
+  // Suspended-step state of the instrumented mode.
   Op pending_{};
   Cell result_{};
-  std::coroutine_handle<> resume_point_{};
 };
 
 }  // namespace apex::sim

@@ -5,6 +5,25 @@
 
 namespace apex::sim {
 
+std::size_t Schedule::fill(std::span<std::uint32_t> grants, std::uint64_t t0) {
+  if (deferred_) {
+    auto e = deferred_;
+    deferred_ = nullptr;
+    std::rethrow_exception(e);
+  }
+  std::size_t i = 0;
+  try {
+    for (; i < grants.size(); ++i)
+      grants[i] = static_cast<std::uint32_t>(next(t0 + i));
+  } catch (...) {
+    // Keep the error aligned with the grant that caused it: hand back the
+    // grants already drawn and rethrow when the caller asks for more.
+    if (i == 0) throw;
+    deferred_ = std::current_exception();
+  }
+  return i;
+}
+
 RateSchedule::RateSchedule(std::vector<double> rates, apex::Rng rng)
     : Schedule(rates.size()), rng_(rng) {
   double total = 0.0;
@@ -31,6 +50,17 @@ std::size_t RateSchedule::next(std::uint64_t) {
   const double u = rng_.uniform();
   const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
   return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+std::size_t RateSchedule::fill(std::span<std::uint32_t> grants,
+                               std::uint64_t) {
+  const auto begin = cumulative_.begin();
+  const auto end = cumulative_.end();
+  for (auto& g : grants) {
+    const double u = rng_.uniform();
+    g = static_cast<std::uint32_t>(std::lower_bound(begin, end, u) - begin);
+  }
+  return grants.size();
 }
 
 SleeperSchedule::SleeperSchedule(std::size_t nprocs,
@@ -66,6 +96,22 @@ std::size_t SleeperSchedule::next(std::uint64_t t) {
   return non_sleepers_[rng_.below(non_sleepers_.size())];
 }
 
+std::size_t SleeperSchedule::fill(std::span<std::uint32_t> grants,
+                                  std::uint64_t t0) {
+  // One division for the whole batch; the phase-in-period counter then
+  // wraps incrementally instead of re-dividing per grant.
+  std::uint64_t in_period = t0 % period_;
+  for (std::size_t i = 0; i < grants.size(); ++i) {
+    const std::uint64_t t = t0 + i;
+    const bool sleepers_awake = in_period < burst_ && t >= period_;
+    const auto& pool = (sleepers_awake && !sleepers_.empty()) ? sleepers_
+                                                              : non_sleepers_;
+    grants[i] = static_cast<std::uint32_t>(pool[rng_.below(pool.size())]);
+    if (++in_period == period_) in_period = 0;
+  }
+  return grants.size();
+}
+
 CrashSchedule::CrashSchedule(std::size_t nprocs,
                              std::vector<std::uint64_t> crash_times,
                              apex::Rng rng)
@@ -86,6 +132,21 @@ std::size_t CrashSchedule::next(std::uint64_t t) {
     const auto p = static_cast<std::size_t>(rng_.below(nprocs_));
     if (t < crash_times_[p]) return p;
   }
+}
+
+std::size_t CrashSchedule::fill(std::span<std::uint32_t> grants,
+                                std::uint64_t t0) {
+  for (std::size_t i = 0; i < grants.size(); ++i) {
+    const std::uint64_t t = t0 + i;
+    for (;;) {
+      const auto p = static_cast<std::size_t>(rng_.below(nprocs_));
+      if (t < crash_times_[p]) {
+        grants[i] = static_cast<std::uint32_t>(p);
+        break;
+      }
+    }
+  }
+  return grants.size();
 }
 
 const char* schedule_kind_name(ScheduleKind k) noexcept {

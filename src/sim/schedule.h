@@ -12,10 +12,14 @@
 // non-oblivious.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <limits>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -24,10 +28,27 @@
 
 namespace apex::sim {
 
+/// Round-robin bulk fill shared by RoundRobinSchedule and
+/// ScriptedSchedule's post-script fallback: one division for the whole
+/// batch, then increment-and-wrap (a per-grant modulo is a hardware
+/// divide, ~10x the rest of the loop).
+inline std::size_t fill_round_robin(std::span<std::uint32_t> grants,
+                                    std::uint64_t t0, std::size_t nprocs) {
+  auto p = static_cast<std::uint32_t>(t0 % nprocs);
+  const auto n = static_cast<std::uint32_t>(nprocs);
+  for (auto& g : grants) {
+    g = p;
+    if (++p == n) p = 0;
+  }
+  return grants.size();
+}
+
 class Schedule {
  public:
   explicit Schedule(std::size_t nprocs) : nprocs_(nprocs) {
     if (nprocs == 0) throw std::invalid_argument("Schedule: nprocs == 0");
+    if (nprocs > std::numeric_limits<std::uint32_t>::max())
+      throw std::invalid_argument("Schedule: nprocs exceeds uint32 grants");
   }
   virtual ~Schedule() = default;
 
@@ -35,12 +56,43 @@ class Schedule {
   /// Called with strictly increasing t by the simulator.
   virtual std::size_t next(std::uint64_t t) = 0;
 
+  /// Bulk grant API (the batched engine's hot path): fill `grants` with the
+  /// processors granted the steps at times t0, t0+1, ..., and return how
+  /// many were produced, in [1, grants.size()] (grants.empty() returns 0).
+  ///
+  /// Contract (see docs/ARCHITECTURE.md): the concatenation of fill()
+  /// results must equal the sequence next(t0), next(t0+1), ... — same
+  /// grants, same private-RNG consumption order — and a call may return
+  /// short (e.g. at a segment or script boundary).  An error must surface
+  /// exactly at the grant that would have thrown under next(): either throw
+  /// with zero grants produced, or return the partial batch and throw on
+  /// the following call (the default implementation does the latter via a
+  /// stashed exception).
+  ///
+  /// The default loops next(); subclasses override purely for speed.
+  virtual std::size_t fill(std::span<std::uint32_t> grants, std::uint64_t t0);
+
   virtual bool is_oblivious() const noexcept { return true; }
+
+  /// May the simulator draw grants ahead of executing them?  True requires
+  /// that the grant at time t is fully determined by (t, the schedule's
+  /// private state at the time of the draw) — i.e. nothing external mutates
+  /// the schedule between grants.  Defaults to is_oblivious(): adaptive
+  /// schedules inspect live simulator state and must be asked one grant at
+  /// a time.  Override to false for schedules that are oblivious in the
+  /// model sense but externally steered between run() calls (e.g. a bench
+  /// harness flipping a designated processor).
+  virtual bool is_prefetchable() const noexcept { return is_oblivious(); }
 
   std::size_t nprocs() const noexcept { return nprocs_; }
 
  protected:
   std::size_t nprocs_;
+
+ private:
+  /// Exception raised by next() mid-way through a default fill(): the grants
+  /// drawn before it are returned first, and it is rethrown on the next call.
+  std::exception_ptr deferred_;
 };
 
 /// Fully synchronous round-robin: proc t mod n.  The "friendliest" schedule;
@@ -51,6 +103,9 @@ class RoundRobinSchedule final : public Schedule {
   std::size_t next(std::uint64_t t) override {
     return static_cast<std::size_t>(t % nprocs_);
   }
+  std::size_t fill(std::span<std::uint32_t> grants, std::uint64_t t0) override {
+    return fill_round_robin(grants, t0, nprocs_);
+  }
 };
 
 /// Uniformly random processor each step (classic A-PRAM random schedule).
@@ -60,6 +115,10 @@ class UniformRandomSchedule final : public Schedule {
       : Schedule(nprocs), rng_(rng) {}
   std::size_t next(std::uint64_t) override {
     return static_cast<std::size_t>(rng_.below(nprocs_));
+  }
+  std::size_t fill(std::span<std::uint32_t> grants, std::uint64_t) override {
+    for (auto& g : grants) g = static_cast<std::uint32_t>(rng_.below(nprocs_));
+    return grants.size();
   }
 
  private:
@@ -78,6 +137,7 @@ class RateSchedule final : public Schedule {
                                                  double alpha, apex::Rng rng);
 
   std::size_t next(std::uint64_t) override;
+  std::size_t fill(std::span<std::uint32_t> grants, std::uint64_t t0) override;
 
  private:
   std::vector<double> cumulative_;
@@ -97,6 +157,7 @@ class SleeperSchedule final : public Schedule {
                   std::uint64_t period, std::uint64_t burst, apex::Rng rng);
 
   std::size_t next(std::uint64_t t) override;
+  std::size_t fill(std::span<std::uint32_t> grants, std::uint64_t t0) override;
 
  private:
   std::vector<bool> is_sleeper_;
@@ -115,6 +176,7 @@ class CrashSchedule final : public Schedule {
                 apex::Rng rng);
 
   std::size_t next(std::uint64_t t) override;
+  std::size_t fill(std::span<std::uint32_t> grants, std::uint64_t t0) override;
 
  private:
   std::vector<std::uint64_t> crash_times_;
@@ -150,6 +212,24 @@ class ScriptedSchedule final : public Schedule {
     return static_cast<std::size_t>(t % nprocs_);
   }
 
+  /// Returns short at the script boundary, so a kThrow script only throws
+  /// when a grant BEYOND the script is actually demanded — exactly when
+  /// next() would have.
+  std::size_t fill(std::span<std::uint32_t> grants, std::uint64_t t0) override {
+    if (grants.empty()) return 0;
+    if (pos_ < script_.size()) {
+      const std::size_t n = std::min(grants.size(), script_.size() - pos_);
+      for (std::size_t i = 0; i < n; ++i)
+        grants[i] = static_cast<std::uint32_t>(script_[pos_ + i]);
+      pos_ += n;
+      return n;
+    }
+    if (exhaust_ == ScriptExhaust::kThrow)
+      throw std::out_of_range("ScriptedSchedule: script exhausted at t=" +
+                              std::to_string(t0));
+    return fill_round_robin(grants, t0, nprocs_);
+  }
+
   std::size_t script_size() const noexcept { return script_.size(); }
   ScriptExhaust exhaust_policy() const noexcept { return exhaust_; }
 
@@ -175,6 +255,15 @@ class BurstSchedule final : public Schedule {
     if (!rng_.coin(continue_prob_))
       current_ = static_cast<std::size_t>(rng_.below(nprocs_));
     return current_;
+  }
+
+  std::size_t fill(std::span<std::uint32_t> grants, std::uint64_t) override {
+    for (auto& g : grants) {
+      if (!rng_.coin(continue_prob_))
+        current_ = static_cast<std::size_t>(rng_.below(nprocs_));
+      g = static_cast<std::uint32_t>(current_);
+    }
+    return grants.size();
   }
 
  private:

@@ -1,21 +1,41 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <cassert>
+#include <span>
+
 #include "check/mutation.h"
 
 namespace apex::sim {
+
+namespace {
+
+/// Batched-engine prefetch depth.  One virtual Schedule::fill() call per
+/// kGrantBatch grants amortizes dispatch to noise; leftovers persist in the
+/// simulator's buffer, so a deep prefetch never changes what executes.
+constexpr std::size_t kGrantBatch = 1024;
+
+}  // namespace
 
 Simulator::Simulator(SimConfig cfg, std::unique_ptr<Schedule> schedule)
     : seeds_{cfg.seed},
       memory_(cfg.memory_words),
       schedule_(std::move(schedule)),
-      nprocs_(cfg.nprocs) {
+      nprocs_(cfg.nprocs),
+      engine_(cfg.engine) {
   if (!schedule_) throw std::invalid_argument("Simulator: null schedule");
   if (schedule_->nprocs() != nprocs_)
     throw std::invalid_argument("Simulator: schedule nprocs mismatch");
+  prefetchable_ = schedule_->is_prefetchable();
+  starvation_limit_ =
+      cfg.starvation_limit != 0
+          ? cfg.starvation_limit
+          : std::max<std::uint64_t>(1u << 20, 64 * nprocs_);
   procs_.reserve(nprocs_);
+  grant_buf_.resize(kGrantBatch);
 }
 
-bool Simulator::grant(std::size_t p) {
+bool Simulator::grant_instrumented(std::size_t p, bool double_charge) {
   ProcState& ps = procs_[p];
   if (ps.finished) return false;
 
@@ -24,16 +44,19 @@ bool Simulator::grant(std::size_t p) {
 
   // Resume the deepest suspended coroutine (the top-level proc on the first
   // grant, otherwise wherever the last step awaiter suspended — possibly
-  // inside nested SubTasks).  It runs protocol code until it requests the
-  // next atomic op (a step awaiter records it in the Ctx) or the top-level
-  // coroutine finishes.  Plain computation between awaits is free; the op
-  // requested *by this grant* executes below, atomically.
-  std::coroutine_handle<> h = ctx.resume_point_ ? ctx.resume_point_
-                                                : std::coroutine_handle<>(top);
-  ctx.resume_point_ = {};
+  // inside nested SubTasks; see the resume-slot invariant in spawn()).
+  // It runs protocol code until it requests the next atomic op (a step
+  // awaiter records it in the Ctx) or the top-level coroutine finishes.
+  // Plain computation between awaits is free; the op requested *by this
+  // grant* executes below, atomically.  (This path keeps the pre-batching
+  // per-grant shape so run_single_step stays an honest perf baseline.)
+  std::coroutine_handle<>& slot = resume_slots_[p];
+  std::coroutine_handle<> h = slot ? slot : std::coroutine_handle<>(top);
+  slot = {};
   h.resume();
 
-  if (top.promise().exception) std::rethrow_exception(top.promise().exception);
+  if (top.promise().exception) [[unlikely]]
+    std::rethrow_exception(top.promise().exception);
 
   StepEvent ev;
   ev.time = work_;
@@ -70,30 +93,254 @@ bool Simulator::grant(std::size_t p) {
     }
   }
 
-  ps.steps += 1;
+  ctx.steps_ += 1;
   work_ += 1;
-  if (check::mutation_enabled(check::Mutation::kWorkDoubleCharge) &&
-      ev.op.kind == Op::Kind::Local)
+  if (double_charge && ev.op.kind == Op::Kind::Local)
     work_ += 1;  // self-test mutation: charge twice, emit one event
-  if (observer_ != nullptr) observer_->on_step(ev);
+  observers_.on_step(ev);
   return true;
 }
 
-Simulator::RunResult Simulator::run(std::uint64_t max_steps,
-                                    const std::function<bool()>& stop,
-                                    std::uint64_t check_interval) {
-  if (!started_) {
-    started_ = true;
-    alive_ = procs_.size();
-    for (const auto& ps : procs_)
-      if (ps.finished) --alive_;
-  }
-  if (check_interval == 0) check_interval = 1;
+void Simulator::charge_starvation(std::uint64_t dead_tick) {
+  // Schedule granted a finished processor; charge nothing but guard against
+  // schedules that starve all remaining live processors.
+  starvation_ = last_dead_tick_ + 1 == dead_tick ? starvation_ + 1 : 1;
+  last_dead_tick_ = dead_tick;
+  if (starvation_ > starvation_limit_)
+    throw std::runtime_error("Simulator: schedule starved live processors");
+}
 
+void Simulator::refill_grants() {
+  // Non-prefetchable schedules (adaptive, or externally steered between
+  // run() calls) must be asked exactly when a grant is needed.  Oblivious
+  // self-contained schedules depend only on (t, their private stream);
+  // drawing them ahead of execution is invisible.
+  const std::size_t want = prefetchable_ ? kGrantBatch : 1;
+  // Empty the buffer BEFORE filling: if fill() throws and the caller
+  // catches, a later run() must refill (re-raising the schedule's error)
+  // rather than replay the previous batch's stale contents.
+  buf_pos_ = 0;
+  buf_len_ = 0;
+  try {
+    buf_len_ = schedule_->fill(
+        std::span<std::uint32_t>(grant_buf_.data(), want), ticks_drawn_);
+  } catch (...) {
+    // refill happens only with an empty buffer, so the grant that faulted
+    // is exactly the next one to execute: consume its tick before
+    // propagating, as the single-step engine does (tick_++ before next()).
+    ++tick_;
+    ++ticks_drawn_;
+    throw;
+  }
+  if (buf_len_ == 0 || buf_len_ > want)
+    throw std::logic_error("Simulator: Schedule::fill returned bad count");
+  ticks_drawn_ += buf_len_;
+  validate_grants(0);
+}
+
+void Simulator::validate_grants(std::size_t from) {
+  // Validate the buffer tail [from, buf_len_) so the consume loops skip
+  // the per-grant range check: a vectorizable max-scan, then (only if a
+  // bad grant exists) a scalar pass for its position.  A bad grant
+  // poisons only its own position: everything before it executes first,
+  // exactly as the single-step engine would.
+  bad_grant_at_ = buf_len_;
+  const std::uint32_t n = static_cast<std::uint32_t>(procs_.size());
+  std::uint32_t maxg = 0;
+  for (std::size_t i = from; i < buf_len_; ++i)
+    maxg = std::max(maxg, grant_buf_[i]);
+  if (maxg >= n) [[unlikely]] {
+    for (std::size_t i = from; i < buf_len_; ++i)
+      if (grant_buf_[i] >= n) {
+        bad_grant_at_ = i;
+        break;
+      }
+  }
+}
+
+void Simulator::consume_batch(std::size_t end, bool double_charge,
+                              bool poll_on_dead, RunResult& res) {
+  const std::uint64_t work0 = res.work;
+  while (buf_pos_ < end) {
+    const std::size_t p = grant_buf_[buf_pos_++];
+    ++tick_;
+    if (p >= procs_.size()) [[unlikely]]
+      throw std::logic_error("Simulator: schedule granted unknown proc");
+    if (!grant_instrumented(p, double_charge)) [[unlikely]] {
+      charge_starvation(tick_ - 1);
+      if (poll_on_dead && res.work == work0) return;
+      continue;
+    }
+    res.work += 1;
+    // Rare mid-batch exits: a processor requested stop, or the last live
+    // processor just finished.  Unconsumed grants stay buffered for the
+    // next run() call, keeping the executed trace identical to the
+    // single-step engine's.
+    if (stop_requested_ || alive_ == 0) [[unlikely]] return;
+  }
+}
+
+void Simulator::consume_batch_fast(std::size_t end, bool double_charge,
+                                   bool poll_on_dead, RunResult& res) {
+  // The hot loop of the whole repo.  The atomic op itself is executed
+  // inline by the step awaiter (fast mode, see proc.h) before the resume
+  // returns, so each iteration is: resume, finish check, accounting.
+  // Everything the resume cannot touch is hoisted into const locals;
+  // counters the protocol can read mid-resume through Ctx accessors
+  // (work_, ctx.steps_) stay per-step member updates, while run-local or
+  // boundary-visible counters (res.work, tick_, buf_pos_, starvation_)
+  // accumulate in registers and flush at every exit — including the
+  // throwing ones, so a caught exception leaves the simulator consistent.
+  const std::uint32_t* const buf = grant_buf_.data();
+  std::coroutine_handle<>* const slots = resume_slots_.data();
+  // A previously faulted grant was consumed and its exception caught:
+  // re-validate the buffer tail so execution continues past it, exactly
+  // as the single-step engine would.
+  if (bad_grant_at_ < buf_pos_) [[unlikely]] validate_grants(buf_pos_);
+  // Grants were range-validated at refill time; stop just before a bad one
+  // so it faults exactly when the single-step engine would have.
+  const std::size_t safe_end = std::min(end, bad_grant_at_);
+  const std::size_t pos0 = buf_pos_;
+  std::size_t pos = pos0;
+  // Dead (finished-proc) grants consumed, maintained only on the cold
+  // paths; the live grants of the batch are then (pos - pos0) - deads, so
+  // the hot path carries no work/starvation counters at all.  The live
+  // loop state (this, pos, buf, slots, safe_end + one temporary) fits the
+  // callee-saved registers, so nothing spills across the resume call.
+  std::uint64_t deads = 0;
+
+  const auto flush = [&]() noexcept {
+    buf_pos_ = pos;
+    tick_ += pos - pos0;
+    res.work += (pos - pos0) - deads;
+  };
+
+  bool exhausted = true;
+  try {
+    while (pos < safe_end) {
+      const std::size_t p = buf[pos];
+      ++pos;
+      const std::coroutine_handle<> h = slots[p];
+      if (!h) [[unlikely]] {
+        // Null slot = finished processor (spawn() invariant).
+        ++deads;
+        charge_starvation(tick_ + (pos - 1 - pos0));
+        // Work still parked on a predicate boundary: hand back for a
+        // re-poll (matches the single-step engine's per-grant polling).
+        if (poll_on_dead && pos - pos0 == deads) {
+          exhausted = false;
+          break;
+        }
+        continue;
+      }
+      // Clear before resuming: a suspension re-stores the slot (and the
+      // awaiter accounts the step), so a slot still null afterwards means
+      // the coroutine ran to completion or captured an exception on the
+      // way to final_suspend — the two rare outcomes share one branch and
+      // the common path probes no frame or ProcState lines at all.
+      slots[p] = {};
+      h.resume();
+
+      if (!slots[p]) [[unlikely]] {
+        ProcState& ps = procs_[p];
+        const auto top = ps.task.handle();
+        if (top.promise().exception) [[unlikely]]
+          std::rethrow_exception(top.promise().exception);
+        // No awaiter ran, so account the final step here.
+        ps.finished = true;
+        --alive_;
+        ps.ctx->steps_ += 1;
+        work_ += 1;
+        if (double_charge) [[unlikely]] work_ += 1;  // final resume is Local
+        if (alive_ == 0 || stop_requested_) {
+          exhausted = false;
+          break;
+        }
+        continue;
+      }
+
+      work_ += 1;
+      if (stop_requested_) [[unlikely]] {
+        exhausted = false;
+        break;
+      }
+    }
+    if (exhausted && pos == bad_grant_at_ && pos < end) {
+      ++pos;  // the bad grant consumes its tick, then faults
+      throw std::logic_error("Simulator: schedule granted unknown proc");
+    }
+  } catch (...) {
+    flush();
+    throw;
+  }
+  flush();
+}
+
+Simulator::RunResult Simulator::run_batched(
+    std::uint64_t max_steps, const std::function<bool()>& stop,
+    std::uint64_t check_interval) {
   RunResult res;
-  std::uint64_t starvation = 0;
-  const std::uint64_t starvation_limit =
-      std::max<std::uint64_t>(1u << 20, 64 * nprocs_);
+  const bool instrumented = !observers_.empty();
+  const bool double_charge =
+      check::mutation_enabled(check::Mutation::kWorkDoubleCharge);
+
+  // Select the awaiter execution mode once per run (see proc.h): fast runs
+  // execute ops inline at suspension against the raw cell array, which is
+  // stable until the next out-of-band extend().
+  for (auto& ps : procs_) {
+    ps.ctx->fast_cells_ = instrumented ? nullptr : memory_.data();
+    ps.ctx->fast_words_ = memory_.size();
+    ps.ctx->charge_local_twice_ = double_charge;
+  }
+
+  while (res.work < max_steps) {
+    if (alive_ == 0) {
+      res.all_finished = true;
+      break;
+    }
+    if (stop_requested_) {
+      res.stop_requested = true;
+      stop_requested_ = false;
+      break;
+    }
+    if (stop && res.work % check_interval == 0 && stop()) {
+      res.predicate_hit = true;
+      break;
+    }
+
+    // Consume up to the next stop-predicate boundary / work cap, but never
+    // past either: a batch of k grants yields at most k work units, so
+    // bounding the batch bounds the work.
+    const std::uint64_t until_cap = max_steps - res.work;
+    const std::uint64_t until_check =
+        stop ? check_interval - (res.work % check_interval) : until_cap;
+    const std::uint64_t want = std::min(until_cap, until_check);
+
+    if (buf_pos_ == buf_len_) refill_grants();
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(buf_len_ - buf_pos_, want));
+    // A batch that begins exactly on a predicate boundary must re-poll
+    // after each grant that leaves the work count parked there (see
+    // consume_batch's poll_on_dead contract).
+    const bool poll_on_dead =
+        stop != nullptr && res.work % check_interval == 0;
+    if (instrumented)
+      consume_batch(buf_pos_ + take, double_charge, poll_on_dead, res);
+    else
+      consume_batch_fast(buf_pos_ + take, double_charge, poll_on_dead, res);
+  }
+  return res;
+}
+
+Simulator::RunResult Simulator::run_single_step(
+    std::uint64_t max_steps, const std::function<bool()>& stop,
+    std::uint64_t check_interval) {
+  // Reference engine: the pre-batching hot loop, byte-for-byte — including
+  // its per-grant costs (one virtual next() and one thread-local mutation
+  // probe per grant, instrumented grants throughout), so perfbench measures
+  // the genuine pre-refactor engine.
+  RunResult res;
+  for (auto& ps : procs_) ps.ctx->fast_cells_ = nullptr;
 
   while (res.work < max_steps) {
     if (alive_ == 0) {
@@ -115,23 +362,42 @@ Simulator::RunResult Simulator::run(std::uint64_t max_steps,
     const std::size_t p = schedule_->next(tick_++);
     if (p >= procs_.size())
       throw std::logic_error("Simulator: schedule granted unknown proc");
-    if (!grant(p)) {
-      // Schedule granted a finished processor; charge nothing but guard
-      // against schedules that starve all remaining live processors.
-      if (++starvation > starvation_limit)
-        throw std::runtime_error(
-            "Simulator: schedule starved live processors");
+    if (!grant_instrumented(
+            p, check::mutation_enabled(check::Mutation::kWorkDoubleCharge))) {
+      charge_starvation(tick_ - 1);
       continue;
     }
-    starvation = 0;
     res.work += 1;
   }
+  // Keep the schedule-draw position in sync for the accessors (the
+  // reference engine has no prefetch buffer).
+  ticks_drawn_ = tick_;
   return res;
 }
 
-std::size_t Ctx::nprocs() const noexcept { return sim_->nprocs(); }
+Simulator::RunResult Simulator::run(std::uint64_t max_steps,
+                                    const std::function<bool()>& stop,
+                                    std::uint64_t check_interval) {
+  if (!started_) {
+    started_ = true;
+    alive_ = procs_.size();
+    for (const auto& ps : procs_)
+      if (ps.finished) --alive_;
+    // procs_ and resume_slots_ stop growing once started: bind each Ctx to
+    // its resume slot (the awaiters store suspension handles through it).
+    for (std::size_t i = 0; i < procs_.size(); ++i)
+      procs_[i].ctx->resume_slot_ = &resume_slots_[i];
+  }
+  if (check_interval == 0) check_interval = 1;
 
-std::uint64_t Ctx::steps() const noexcept { return sim_->proc_steps(id_); }
+  if (engine_ == GrantEngine::kSingleStep)
+    return run_single_step(max_steps, stop, check_interval);
+  return run_batched(max_steps, stop, check_interval);
+}
+
+void Ctx::bump_extra_work() noexcept { sim_->work_ += 1; }
+
+std::size_t Ctx::nprocs() const noexcept { return sim_->nprocs(); }
 
 void Ctx::request_stop() const noexcept { sim_->request_stop(); }
 

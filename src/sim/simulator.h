@@ -2,6 +2,25 @@
 // to an adversary schedule and accounts total work exactly as the paper
 // defines it — "the total number of steps performed in the system, summed
 // over all processors", including busy waiting and idling.
+//
+// Grant engines.  The simulator executes the same abstract machine through
+// one of two engines:
+//
+//   kBatched (default)  pulls grants from the schedule in bulk via
+//       Schedule::fill() and consumes them from an internal buffer, with the
+//       stop-predicate / alive / starvation checks hoisted to batch
+//       boundaries and an observer-free fast grant path selected once per
+//       run().  This is the production hot path.
+//   kSingleStep         the reference engine: one virtual Schedule::next()
+//       call, one fully instrumented grant per step.  Kept for equivalence
+//       tests and as the perf baseline (`apexcli perfbench` measures both).
+//
+// The two engines are grant-for-grant and byte-for-byte equivalent for every
+// schedule whose fill() honors the determinism contract (see
+// docs/ARCHITECTURE.md): identical grant traces, memory images, work
+// accounting and RunResults.  Prefetched-but-unconsumed grants are buffered
+// inside the simulator across run() calls, so oblivious schedules may be
+// drawn ahead of execution without changing what executes.
 #pragma once
 
 #include <cstddef>
@@ -12,32 +31,26 @@
 #include <vector>
 
 #include "sim/memory.h"
+#include "sim/observer.h"
 #include "sim/proc.h"
 #include "sim/schedule.h"
 
 namespace apex::sim {
 
-/// One executed atomic step, as seen by an observer.
-struct StepEvent {
-  std::uint64_t time = 0;   ///< Global step index (work units so far - 1).
-  std::size_t proc = 0;
-  Op op{};
-  Cell before{};            ///< Cell content before the op (reads: == after).
-  Cell after{};             ///< Cell content after the op.
-};
-
-/// Out-of-band observer.  Hooks run outside the model: they cost no work and
-/// must not mutate memory.  Used by the Lemma inspectors.
-class StepObserver {
- public:
-  virtual ~StepObserver() = default;
-  virtual void on_step(const StepEvent& ev) = 0;
-};
+/// Which grant engine Simulator::run() uses.  kSingleStep is the pre-batching
+/// reference implementation; results are identical (see header comment).
+enum class GrantEngine : std::uint8_t { kBatched, kSingleStep };
 
 struct SimConfig {
   std::size_t nprocs = 0;
   std::size_t memory_words = 0;
   std::uint64_t seed = 1;  ///< Root of the processor-stream seed tree.
+  GrantEngine engine = GrantEngine::kBatched;
+  /// Consecutive grants to finished processors (while live processors
+  /// remain) tolerated before run() throws.  0 = max(2^20, 64 * nprocs).
+  /// The guard is persistent simulator state: it accumulates across run()
+  /// calls and resets only when a live processor is granted a step.
+  std::uint64_t starvation_limit = 0;
 };
 
 class Simulator {
@@ -59,7 +72,14 @@ class Simulator {
     const std::size_t id = procs_.size();
     auto ctx = std::make_unique<Ctx>(*this, id, seeds_.processor(id));
     Ctx& ref = *ctx;
-    procs_.push_back(ProcState{std::move(ctx), factory(ref), 0, false});
+    procs_.push_back(ProcState{std::move(ctx), factory(ref), false});
+    // Invariant: for an unfinished processor, its resume slot always holds
+    // the next handle to resume — the top-level coroutine before the first
+    // grant, then whatever handle the last step awaiter suspended (every
+    // suspension back to the simulator goes through a step awaiter); a
+    // finished processor's slot is null.  Slot addresses are bound into the
+    // Ctxs at the first run(), once the vector stops growing.
+    resume_slots_.push_back(procs_.back().task.handle());
     return id;
   }
 
@@ -72,7 +92,8 @@ class Simulator {
 
   /// Run until: `max_steps` more work units are consumed, every processor
   /// finished, stop was requested, or `stop` (checked every
-  /// `check_interval` grants) returns true.  May be called repeatedly.
+  /// `check_interval` consumed work units) returns true.  May be called
+  /// repeatedly.
   RunResult run(std::uint64_t max_steps,
                 const std::function<bool()>& stop = nullptr,
                 std::uint64_t check_interval = 256);
@@ -80,30 +101,88 @@ class Simulator {
   /// Total work units consumed across all run() calls.
   std::uint64_t total_work() const noexcept { return work_; }
 
+  /// Schedule grants consumed so far (including grants to finished
+  /// processors, which charge no work).  This is the length of the executed
+  /// grant trace; the schedule itself may have been drawn further ahead by
+  /// the batched engine's prefetch buffer.
+  std::uint64_t ticks() const noexcept { return tick_; }
+
   /// Steps granted to processor i so far.
-  std::uint64_t proc_steps(std::size_t i) const { return procs_.at(i).steps; }
+  std::uint64_t proc_steps(std::size_t i) const {
+    return procs_.at(i).ctx->steps();
+  }
 
   bool finished(std::size_t i) const { return procs_.at(i).finished; }
 
-  void set_observer(StepObserver* obs) noexcept { observer_ = obs; }
+  /// Attach an observer to the chain (delivery in attach order).  Any
+  /// attached observer switches run() to the instrumented grant path.
+  void add_observer(StepObserver* obs) { observers_.add(obs); }
+  void remove_observer(StepObserver* obs) { observers_.remove(obs); }
+
+  /// Legacy single-slot API: replaces the WHOLE chain with `obs` (nullptr
+  /// clears it).  Prefer add_observer/remove_observer.
+  void set_observer(StepObserver* obs) {
+    observers_.clear();
+    observers_.add(obs);
+  }
 
   void request_stop() noexcept { stop_requested_ = true; }
 
   const Schedule& schedule() const noexcept { return *schedule_; }
 
+  GrantEngine engine() const noexcept { return engine_; }
+
  private:
   struct ProcState {
     std::unique_ptr<Ctx> ctx;
     ProcTask task;
-    std::uint64_t steps = 0;
     bool finished = false;
   };
 
   friend class Ctx;
 
-  /// Grant one atomic step to processor p.  Returns false if p had already
-  /// finished (no work charged).
-  bool grant(std::size_t p);
+  /// Grant one atomic step to processor p, instrumented: builds the
+  /// StepEvent, uses checked memory access, feeds the observer chain.
+  /// Returns false if p had already finished (no work charged).
+  bool grant_instrumented(std::size_t p, bool double_charge);
+
+  /// Consume buffered grants [buf_pos_, end) through the instrumented
+  /// grant.  Returns on exhaustion, stop request, or last processor finish.
+  /// `poll_on_dead`: the batch began exactly on a stop-predicate boundary,
+  /// so a grant to a finished processor before any live grant must return
+  /// to the caller for a re-poll — the single-step engine re-evaluates the
+  /// predicate on every such grant (work parked on the boundary), and a
+  /// stateful predicate must observe the same number of calls.
+  void consume_batch(std::size_t end, bool double_charge, bool poll_on_dead,
+                     RunResult& res);
+
+  /// Same, through the no-observer fast path: no StepEvent construction,
+  /// ops executed inline by the awaiters against raw memory, invariant
+  /// pointers hoisted out of the loop.
+  void consume_batch_fast(std::size_t end, bool double_charge,
+                          bool poll_on_dead, RunResult& res);
+
+  /// Refill the grant buffer from the schedule (at most one fill() call).
+  void refill_grants();
+
+  /// Range-validate grant_buf_[from, buf_len_), setting bad_grant_at_ to
+  /// the first out-of-range grant (or buf_len_ when clean).
+  void validate_grants(std::size_t from);
+
+  /// Account a grant to an already-finished processor at global tick
+  /// `dead_tick` and throw once `starvation_limit_` consecutive such
+  /// grants accumulate.  Consecutiveness is tick-based (`last_dead_tick_`),
+  /// so the count naturally spans batches and run() calls and resets the
+  /// moment any live grant's tick intervenes — and the live-grant hot path
+  /// never touches the counter.
+  void charge_starvation(std::uint64_t dead_tick);
+
+  RunResult run_batched(std::uint64_t max_steps,
+                        const std::function<bool()>& stop,
+                        std::uint64_t check_interval);
+  RunResult run_single_step(std::uint64_t max_steps,
+                            const std::function<bool()>& stop,
+                            std::uint64_t check_interval);
 
   SeedTree seeds_;
   Memory memory_;
@@ -112,10 +191,28 @@ class Simulator {
   std::size_t nprocs_;
   std::size_t alive_ = 0;
   std::uint64_t work_ = 0;
-  std::uint64_t tick_ = 0;
+  std::uint64_t tick_ = 0;        ///< Grants consumed (executed trace length).
+  std::uint64_t ticks_drawn_ = 0; ///< Grants drawn from the schedule.
+  std::uint64_t starvation_ = 0;  ///< Consecutive finished-proc grants.
+  std::uint64_t starvation_limit_ = 0;
+  /// Tick of the most recent finished-proc grant (see charge_starvation).
+  /// The max() sentinel + 1 wraps to 0, but starvation_ == 0 then makes
+  /// both branches of the consecutiveness test yield 1 — still correct.
+  std::uint64_t last_dead_tick_ = ~0ULL;
+  GrantEngine engine_ = GrantEngine::kBatched;
+  bool prefetchable_ = true;
   bool stop_requested_ = false;
   bool started_ = false;
-  StepObserver* observer_ = nullptr;
+  CompositeObserver observers_;
+  std::vector<std::uint32_t> grant_buf_;
+  std::size_t buf_pos_ = 0;
+  std::size_t buf_len_ = 0;
+  /// First out-of-range grant in the buffer (== buf_len_ when clean),
+  /// found once per refill so the hot loop carries no per-grant check.
+  std::size_t bad_grant_at_ = 0;
+  /// Per-processor next-resume handle (null = finished); parallel to
+  /// procs_.  See the invariant note in spawn().
+  std::vector<std::coroutine_handle<>> resume_slots_;
 };
 
 }  // namespace apex::sim

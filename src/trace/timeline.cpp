@@ -108,4 +108,34 @@ std::string bin_heatmap(const agreement::BinArray& bins, sim::Word phase) {
   return os.str();
 }
 
+ProcActivityTimeline::ProcActivityTimeline(std::size_t nprocs)
+    : nprocs_(nprocs) {
+  if (nprocs == 0)
+    throw std::invalid_argument("ProcActivityTimeline: nprocs == 0");
+}
+
+void ProcActivityTimeline::on_step(const sim::StepEvent& ev) {
+  char tag = '.';
+  if (ev.op.kind == sim::Op::Kind::Read) tag = 'r';
+  else if (ev.op.kind == sim::Op::Kind::Write) tag = 'w';
+  recorded_.push_back(
+      Mark{ev.time, static_cast<std::uint32_t>(ev.proc), tag});
+}
+
+std::string ProcActivityTimeline::render(std::size_t width) const {
+  if (recorded_.empty()) return "";
+  std::vector<std::string> names;
+  names.reserve(nprocs_);
+  for (std::size_t p = 0; p < nprocs_; ++p)
+    names.push_back("P" + std::to_string(p));
+  const std::uint64_t t0 = recorded_.front().time;
+  const std::uint64_t t1 = recorded_.back().time + 1;
+  Timeline tl(std::move(names), t0, t1, width);
+  for (const auto& m : recorded_) {
+    if (m.proc >= nprocs_) continue;
+    tl.add({m.proc, m.time, m.time + 1, m.tag});
+  }
+  return tl.render();
+}
+
 }  // namespace apex::trace

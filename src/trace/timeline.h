@@ -15,6 +15,7 @@
 
 #include "agreement/bin_array.h"
 #include "agreement/protocol.h"
+#include "sim/observer.h"
 
 namespace apex::trace {
 
@@ -76,5 +77,32 @@ std::string bin_heatmap(const agreement::BinArray& bins, sim::Word phase);
 /// Heatmap for a single bin (same encoding, no trailing newline).
 std::string bin_row(const agreement::BinArray& bins, std::size_t bin,
                     sim::Word phase);
+
+/// Step-level activity recorder: a StepObserver that joins the simulator's
+/// observer chain (Simulator::add_observer — alongside audits and oracles)
+/// and tallies, per processor, which kind of step each work unit was.
+/// render() draws one lane per processor over the observed work interval:
+/// 'r' = read, 'w' = write, '.' = local/none — the raw-schedule counterpart
+/// of cycles_timeline() for eyeballing an adversary's interleaving.
+class ProcActivityTimeline final : public sim::StepObserver {
+ public:
+  explicit ProcActivityTimeline(std::size_t nprocs);
+
+  void on_step(const sim::StepEvent& ev) override;
+
+  /// Render the recorded activity (empty string when nothing was observed).
+  std::string render(std::size_t width = 72) const;
+
+  std::uint64_t events() const noexcept { return recorded_.size(); }
+
+ private:
+  struct Mark {
+    std::uint64_t time;
+    std::uint32_t proc;
+    char tag;
+  };
+  std::size_t nprocs_;
+  std::vector<Mark> recorded_;
+};
 
 }  // namespace apex::trace

@@ -340,6 +340,96 @@ TEST(Simulator, ObserverSeesBeforeAfter) {
   EXPECT_EQ(rec.w[1], (std::pair<Word, Word>{1, 2}));
 }
 
+TEST(Simulator, ObserverChainDeliversToAllInOrder) {
+  // Multiple observers attach side by side (no more single-slot fights);
+  // delivery is attach-order; remove_observer detaches one without
+  // disturbing the rest.
+  auto sim = make_sim(1, 4);
+  sim.spawn([&](Ctx& c) { return incrementer(c, 0, 10); });
+  GrantCounter first, second;
+  sim.add_observer(&first);
+  sim.add_observer(&second);
+  sim.run(10);
+  EXPECT_EQ(first.events, 10u);
+  EXPECT_EQ(second.events, 10u);
+  sim.remove_observer(&first);
+  sim.run(4);
+  EXPECT_EQ(first.events, 10u);
+  EXPECT_EQ(second.events, 14u);
+}
+
+TEST(Simulator, LegacySetObserverReplacesWholeChain) {
+  auto sim = make_sim(1, 4);
+  sim.spawn([&](Ctx& c) { return incrementer(c, 0, 10); });
+  GrantCounter first, second;
+  sim.add_observer(&first);
+  sim.set_observer(&second);  // legacy single-slot semantics
+  sim.run(6);
+  EXPECT_EQ(first.events, 0u);
+  EXPECT_EQ(second.events, 6u);
+  sim.set_observer(nullptr);
+  sim.run(4);
+  EXPECT_EQ(second.events, 6u);
+}
+
+// Grants only processor 0 forever.  CallbackSchedule is non-oblivious, so
+// this also exercises the batched engine's no-prefetch path.
+std::unique_ptr<Schedule> only_proc0(std::size_t nprocs) {
+  return std::make_unique<CallbackSchedule>(
+      nprocs, [](std::uint64_t) -> std::size_t { return 0; });
+}
+
+TEST(Simulator, StarvationGuardThrowsWhenOnlyFinishedProcsGranted) {
+  // Proc 0 finishes after 2 grants; proc 1 never gets granted.  With live
+  // processors remaining, the run must fault once the limit of consecutive
+  // finished-proc grants is exceeded rather than spin forever.
+  SimConfig cfg{2, 2, 1};
+  cfg.starvation_limit = 64;
+  Simulator sim(cfg, only_proc0(2));
+  sim.spawn([&](Ctx& c) { return single_local(c); });
+  sim.spawn([&](Ctx& c) { return waiter(c, 0, 1); });
+  EXPECT_THROW(sim.run(1000), std::runtime_error);
+  // 2 live grants + limit+1 dead grants were consumed.
+  EXPECT_EQ(sim.ticks(), 2u + 64u + 1u);
+  EXPECT_EQ(sim.total_work(), 2u);
+}
+
+TEST(Simulator, StarvationGuardAccumulatesAcrossRunCalls) {
+  // A run() boundary must not reset the guard: dead grants split across
+  // consecutive run() calls still add up to the same faulting tick.
+  SimConfig cfg{2, 2, 1};
+  cfg.starvation_limit = 32;
+  Simulator sim(cfg, only_proc0(2));
+  sim.spawn([&](Ctx& c) { return single_local(c); });
+  sim.spawn([&](Ctx& c) { return waiter(c, 0, 1); });
+
+  // First call: exit mid-starvation via the stop predicate (evaluated at
+  // work 0 on every loop pass, so the 5th poll ends the run after some
+  // dead grants have accumulated — none of which may be forgotten).
+  int polls = 0;
+  const auto res = sim.run(
+      1000, [&] { return ++polls >= 5; }, 1);
+  EXPECT_TRUE(res.predicate_hit);
+  const std::uint64_t ticks_after_first = sim.ticks();
+  EXPECT_GT(ticks_after_first, 2u);  // some dead grants already consumed
+
+  // Second call: the cumulative count faults at exactly limit+1 dead
+  // grants overall — NOT limit+1 grants after the run() boundary.
+  EXPECT_THROW(sim.run(1000), std::runtime_error);
+  EXPECT_EQ(sim.ticks(), 2u + 32u + 1u);
+}
+
+TEST(Simulator, StarvationGuardResetByLiveGrant) {
+  // Alternating dead/live grants never trip even a tiny limit.
+  SimConfig cfg{2, 4, 1};
+  cfg.starvation_limit = 2;
+  Simulator sim(cfg, std::make_unique<RoundRobinSchedule>(2));
+  sim.spawn([&](Ctx& c) { return single_local(c); });
+  sim.spawn([&](Ctx& c) { return incrementer(c, 0, 100); });
+  const auto res = sim.run(10000);
+  EXPECT_TRUE(res.all_finished);
+}
+
 TEST(Simulator, TimestampedWriteStoresStamp) {
   auto sim = make_sim(1, 2);
   sim.spawn([&](Ctx& c) -> ProcTask {

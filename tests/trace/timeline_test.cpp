@@ -133,5 +133,39 @@ TEST(EndToEnd, TimelineFromLiveAgreementRun) {
   EXPECT_NE(out.find('W'), std::string::npos) << out;
 }
 
+namespace {
+sim::ProcTask rw_proc(sim::Ctx& ctx, std::size_t addr, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await ctx.write(addr, 1, 1);
+    co_await ctx.read(addr);
+    co_await ctx.local();
+  }
+}
+}  // namespace
+
+TEST(ProcActivityTimeline, RecordsStepsThroughObserverChain) {
+  // The recorder rides the simulator's observer chain alongside any other
+  // observers and renders per-proc read/write/local activity.
+  sim::SimConfig cfg{2, 4, 1};
+  sim::Simulator s(cfg, std::make_unique<sim::RoundRobinSchedule>(2));
+  s.spawn([](sim::Ctx& c) { return rw_proc(c, 0, 5); });
+  s.spawn([](sim::Ctx& c) { return rw_proc(c, 1, 5); });
+  ProcActivityTimeline tl(2);
+  s.add_observer(&tl);
+  s.run(1000);
+  EXPECT_EQ(tl.events(), s.total_work());
+  const std::string out = tl.render(32);
+  EXPECT_NE(out.find("P0"), std::string::npos);
+  EXPECT_NE(out.find("P1"), std::string::npos);
+  EXPECT_NE(out.find('w'), std::string::npos) << out;
+  EXPECT_NE(out.find('r'), std::string::npos) << out;
+}
+
+TEST(ProcActivityTimeline, EmptyRunRendersEmpty) {
+  ProcActivityTimeline tl(3);
+  EXPECT_EQ(tl.render(), "");
+  EXPECT_EQ(tl.events(), 0u);
+}
+
 }  // namespace
 }  // namespace apex::trace

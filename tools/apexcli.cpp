@@ -31,14 +31,26 @@
 //       file (exit 0 = failure reproduced); --selftest proves each oracle
 //       catches its injected protocol mutation.
 //
+//   apexcli perfbench [--quick] [--steps=N] [--out=BENCH_core.json]
+//       simulator-core microbenchmark: steps/second over the
+//       (schedule kind x nprocs x observer on/off x grant engine) grid.
+//       `single_step` rows measure the pre-batching reference engine, so
+//       the batched/single_step ratio is the engine speedup; results are
+//       printed as a table and dumped to a JSON file that CI archives as
+//       the repo's perf trajectory (soft-gated against the committed
+//       baseline).
+//
 //   apexcli sched
 //       list the adversary schedule family.
 //
 // Exit code 0 = run completed and all checked invariants held.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <iterator>
 #include <map>
 #include <numeric>
 #include <string>
@@ -351,6 +363,200 @@ int cmd_sched() {
   return 0;
 }
 
+// ---- perfbench -------------------------------------------------------------
+
+/// The measured workload: a nonterminating three-step cycle (write, read,
+/// local) on the processor's own cell.  Minimal protocol-side cost, so the
+/// measurement isolates the simulator's per-grant overhead.
+sim::ProcTask perf_proc(sim::Ctx& ctx, std::size_t slot) {
+  for (sim::Word i = 0;; ++i) {
+    co_await ctx.write(slot, i, i);
+    co_await ctx.read(slot);
+    co_await ctx.local();
+  }
+}
+
+/// Cheap chained observer for the observer=on rows: forces the instrumented
+/// grant path and consumes each event.
+struct PerfObserver final : sim::StepObserver {
+  std::uint64_t writes = 0;
+  void on_step(const sim::StepEvent& ev) override {
+    writes += ev.op.kind == sim::Op::Kind::Write;
+  }
+};
+
+struct PerfRow {
+  const char* sched;
+  std::size_t n;
+  bool observer;
+  const char* engine;
+  std::uint64_t steps;
+  double seconds;
+  double steps_per_sec;
+};
+
+PerfRow run_perf_config(sim::ScheduleKind kind, std::size_t n, bool observer,
+                        sim::GrantEngine engine, std::uint64_t steps,
+                        int reps) {
+  sim::SimConfig sc;
+  sc.nprocs = n;
+  sc.memory_words = n;
+  sc.seed = 1;
+  sc.engine = engine;
+  apex::SeedTree seeds{sc.seed};
+  sim::Simulator s(sc, sim::make_schedule(kind, n, seeds.schedule()));
+  for (std::size_t p = 0; p < n; ++p)
+    s.spawn([p](sim::Ctx& ctx) { return perf_proc(ctx, p); });
+  PerfObserver obs;
+  if (observer) s.add_observer(&obs);
+
+  // Best-of-reps: the fastest repetition is the least noise-contaminated
+  // estimate of the engine's cost on a shared machine.
+  s.run(std::min<std::uint64_t>(steps / 4, 100'000));  // warmup
+  double secs = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    s.run(steps);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double d = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0 || d < secs) secs = d;
+  }
+
+  PerfRow r;
+  r.sched = sim::schedule_kind_name(kind);
+  r.n = n;
+  r.observer = observer;
+  r.engine = engine == sim::GrantEngine::kBatched ? "batched" : "single_step";
+  r.steps = steps;
+  r.seconds = secs;
+  r.steps_per_sec = secs > 0 ? static_cast<double>(steps) / secs : 0.0;
+  return r;
+}
+
+int cmd_perfbench(const Args& a) {
+  const bool quick = a.kv.count("quick") != 0;
+  const std::uint64_t steps =
+      a.u64("steps", quick ? 1'000'000 : 4'000'000);
+  const int reps = static_cast<int>(a.u64("reps", 3));
+  const std::string out_path = a.str("out", "BENCH_core.json");
+
+  std::vector<sim::ScheduleKind> kinds = {sim::ScheduleKind::kRoundRobin,
+                                          sim::ScheduleKind::kUniformRandom};
+  std::vector<std::size_t> ns = {4, 64};
+  if (!quick) {
+    kinds.push_back(sim::ScheduleKind::kBurst);
+    kinds.push_back(sim::ScheduleKind::kPowerLaw);
+    ns = {4, 16, 64, 256};
+  }
+
+  std::vector<PerfRow> rows;
+  for (auto kind : kinds)
+    for (auto n : ns)
+      for (bool observer : {false, true})
+        for (auto engine :
+             {sim::GrantEngine::kBatched, sim::GrantEngine::kSingleStep})
+          rows.push_back(
+              run_perf_config(kind, n, observer, engine, steps, reps));
+
+  Table t({"sched", "n", "observer", "engine", "steps", "sec", "steps/sec"});
+  for (const auto& r : rows)
+    t.row()
+        .cell(r.sched)
+        .cell(static_cast<std::uint64_t>(r.n))
+        .cell(r.observer ? "on" : "off")
+        .cell(r.engine)
+        .cell(r.steps)
+        .cell(r.seconds, 3)
+        .cell(r.steps_per_sec, 0);
+  if (a.kv.count("csv")) t.print_csv(std::cout);
+  else t.print(std::cout);
+
+  // Engine speedup on the headline configuration (round_robin, observer
+  // off): min over n, so the claim holds at every measured size.  NOTE:
+  // the in-tree single_step reference shares the reworked awaiter/Ctx
+  // architecture and is itself substantially faster than the genuine
+  // pre-refactor engine — the committed BENCH_core.json carries the
+  // pre-refactor numbers (measured against the parent commit) alongside.
+  double speedup_min = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& b = rows[i];
+    if (std::string(b.sched) != "round_robin" || b.observer ||
+        std::string(b.engine) != "batched")
+      continue;
+    for (const auto& s : rows) {
+      if (std::string(s.sched) == "round_robin" && !s.observer && s.n == b.n &&
+          std::string(s.engine) == "single_step" && s.steps_per_sec > 0) {
+        const double sp = b.steps_per_sec / s.steps_per_sec;
+        speedup_min = speedup_min == 0.0 ? sp : std::min(speedup_min, sp);
+      }
+    }
+  }
+  std::printf("\nbatched vs single_step reference (round_robin, no observer, "
+              "min over n): %.2fx\n", speedup_min);
+
+  // The committed BENCH_core.json carries a hand-added "pre_refactor"
+  // block (parent-commit measurements with provenance).  Rewriting the
+  // file must not destroy it: lift the block out of any existing file and
+  // splice it back into the fresh output.
+  std::string pre_refactor_block;
+  {
+    std::ifstream prev(out_path);
+    if (prev) {
+      std::string text((std::istreambuf_iterator<char>(prev)),
+                       std::istreambuf_iterator<char>());
+      const auto key = text.find("\"pre_refactor\"");
+      const auto open = text.find('{', key);
+      if (key != std::string::npos && open != std::string::npos) {
+        // Balanced-brace scan that skips JSON string literals, so braces
+        // inside the block's "note" text cannot truncate the extraction.
+        int depth = 0;
+        bool in_string = false;
+        for (std::size_t i = open; i < text.size(); ++i) {
+          const char c = text[i];
+          if (in_string) {
+            if (c == '\\') ++i;
+            else if (c == '"') in_string = false;
+            continue;
+          }
+          if (c == '"') in_string = true;
+          else if (c == '{') ++depth;
+          else if (c == '}' && --depth == 0) {
+            pre_refactor_block = text.substr(key, i + 1 - key);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "perfbench: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  out << "{\n  \"bench\": \"apex_core_steps_per_sec\",\n  \"version\": 1,\n";
+  out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  out << "  \"steps_per_run\": " << steps << ",\n";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", speedup_min);
+  out << "  \"speedup_round_robin_no_observer_vs_single_step\": " << buf
+      << ",\n";
+  if (!pre_refactor_block.empty()) out << "  " << pre_refactor_block << ",\n";
+  out << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::snprintf(buf, sizeof buf, "%.1f", r.steps_per_sec);
+    out << "    {\"sched\": \"" << r.sched << "\", \"n\": " << r.n
+        << ", \"observer\": " << (r.observer ? "true" : "false")
+        << ", \"engine\": \"" << r.engine << "\", \"steps\": " << r.steps
+        << ", \"steps_per_sec\": " << buf << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s (%zu configs)\n", out_path.c_str(), rows.size());
+  return 0;
+}
+
 int cmd_fuzz(const Args& a) {
   if (a.kv.count("selftest")) {
     const auto cases = check::run_selftest();
@@ -441,9 +647,11 @@ int main(int argc, char** argv) {
   if (a.cmd == "host") return cmd_host(a);
   if (a.cmd == "sweep") return cmd_sweep(a);
   if (a.cmd == "fuzz") return cmd_fuzz(a);
+  if (a.cmd == "perfbench") return cmd_perfbench(a);
   if (a.cmd == "sched") return cmd_sched();
   std::printf(
-      "usage: apexcli <agree|exec|host|sweep|fuzz|sched> [--key=value ...]\n"
+      "usage: apexcli <agree|exec|host|sweep|fuzz|perfbench|sched> "
+      "[--key=value ...]\n"
       "  agree --n=64 --sched=uniform --seed=1 --beta=8\n"
       "  exec  --workload=luby|leader|ring|coins|probe|prefix|sort|reduction\n"
       "        --n=8 --scheme=nondet|det --sched=uniform --seed=1\n"
@@ -452,6 +660,7 @@ int main(int argc, char** argv) {
       "        [--csv]\n"
       "  fuzz  --trials=500 --jobs=1 --seed=1 [--no-shrink]\n"
       "        [--repro-dir=DIR] [--replay=FILE] [--selftest]\n"
+      "  perfbench [--quick] [--steps=N] [--out=BENCH_core.json] [--csv]\n"
       "  sched\n");
   return a.cmd.empty() ? 0 : 2;
 }
