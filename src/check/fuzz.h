@@ -24,8 +24,15 @@
 
 namespace apex::check {
 
-enum class FuzzProtocol { kAgreement, kConsensus };
+enum class FuzzProtocol { kAgreement, kConsensus, kWorkload };
 const char* fuzz_protocol_name(FuzzProtocol p) noexcept;
+
+/// The registered PRAM workloads the fuzzer draws kWorkload trials from:
+/// the irregular/data-dependent suite, run through the full execution
+/// scheme (exec::Executor, nondeterministic) under a FuzzedSchedule with
+/// the invariant oracles attached, plus the workload's own final-memory
+/// verdict and the produced-trace consistency oracle.
+const std::vector<const char*>& fuzz_workload_pool();
 
 struct FuzzConfig {
   std::size_t trials = 100;
@@ -46,6 +53,7 @@ struct TrialSpec {
   std::size_t beta = 8;
   std::uint64_t seed = 1;
   std::uint64_t budget = 40000;
+  std::string workload;  ///< Registry name (kWorkload trials only).
   const std::vector<std::size_t>* script = nullptr;  ///< Replay a grant trace.
   bool fuzzed = false;  ///< FuzzedSchedule(n, seed) adversary.
   sim::ScheduleKind kind = sim::ScheduleKind::kUniformRandom;
@@ -74,6 +82,7 @@ struct FuzzFailure {
   FuzzProtocol protocol = FuzzProtocol::kAgreement;
   std::size_t n = 0;
   std::uint64_t budget = 0;
+  std::string workload;  ///< kWorkload trials only.
   std::string oracle;
   std::string message;
   std::string schedule;
@@ -97,6 +106,7 @@ struct Repro {
   std::size_t beta = 8;
   std::uint64_t seed = 0;
   std::uint64_t budget = 0;
+  std::string workload;  ///< kWorkload repros only.
   /// Oracle tolerances the failure was found under (replay uses these, not
   /// the replayer's defaults).
   std::uint64_t skew_ticks = 2;

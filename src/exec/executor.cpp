@@ -74,6 +74,22 @@ struct Executor::Impl {
       if (!v) co_return agreement::TaskResult{};
       xv = *v;
     }
+    if (ins.op == pram::OpCode::kGather) {
+      // Data-dependent addressing: the index value xv picks the target
+      // variable at run time; the writer table answers "who last wrote it
+      // before step s" for EVERY variable, so the timestamp discipline is
+      // unchanged — only the table lookup moves to run time.
+      const std::uint32_t target = pram::gather_target(ins, xv);
+      if (target != pram::kGatherOutOfRange) {
+        const auto v = co_await read_operand(
+            ctx, target,
+            prog->last_writer_before(s, target));
+        if (!v) co_return agreement::TaskResult{};
+        yv = *v;
+      }
+      co_await ctx.local();
+      co_return agreement::TaskResult{yv};
+    }
     if (r >= 2) {
       const auto v = co_await read_operand(ctx, ins.y, w.y);
       if (!v) co_return agreement::TaskResult{};
@@ -163,73 +179,102 @@ struct Executor::Impl {
 
   // --- Out-of-band subphase monitor ----------------------------------------
 
-  /// Watches clock writes to detect true tick transitions; at each
-  /// Compute->Copy boundary snapshots the agreed NewVal values, at each
-  /// Copy->Compute boundary verifies the commits landed.
+  /// Watches clock writes to detect true tick transitions and audits each
+  /// step's COMMITTED values one full phase after its Copy subphase ended.
+  ///
+  /// Why the delay: processors act on *estimated* ticks that lag/lead the
+  /// true tick by a bounded amount, so copies for step s legitimately
+  /// straggle past the true Copy->Compute boundary.  Snapshotting agreed
+  /// values right at the boundary (the original design) raced those
+  /// stragglers: it both overcounted `incomplete` and recorded stale
+  /// `produced` values for runs whose final memory was perfectly correct —
+  /// the long irregular workloads (bfs: ~230 subphases) hit this
+  /// systematically.  Auditing the generation slot at the close of tick
+  /// 2s+3 is race-free on both sides: estimate skew is well under a full
+  /// phase, so every straggling copy of step s has landed, and the
+  /// earliest possible overwrite of the slot (the Copy subphase of step
+  /// s+G, G >= 3 enforced at construction, at estimated tick 2s+2G+1)
+  /// cannot have started even from a ~2-tick estimate leader.  The
+  /// committed slot is also the authoritative agreed value — copies only
+  /// ever commit values read from completed agreements — so `produced` is
+  /// exactly what downstream steps can observe.
+  ///
+  /// The DETERMINISTIC baseline has no agreement, hence no unique NewVal:
+  /// re-executions of a randomized task overwrite NewVal[i] with fresh
+  /// draws, and which one a copy commits is a race (the paper's motivating
+  /// flaw).  For that scheme `produced` records the FIRST NewVal write of
+  /// each (step, task) — an event-driven, race-free capture — so a later
+  /// redraw that gets committed shows up as a genuine consistency
+  /// violation instead of being laundered by reading the final slot back.
   struct Monitor final : public sim::StepObserver {
     Impl* im = nullptr;
     std::uint64_t clock_total = 0;
     std::uint64_t tick = 0;
     std::vector<std::vector<pram::Word>> produced;
     std::uint64_t incomplete = 0;
+    /// Det scheme: highest NewVal stamp already recorded per task
+    /// (first-write-wins per stamp; late stale-stamp writes are ignored).
+    std::vector<sim::Word> newval_stamp_seen;
 
     void init(Impl* impl) {
       im = impl;
       produced.assign(im->T(), std::vector<pram::Word>(im->n(), 0));
+      if (im->scheme == Scheme::kDeterministic)
+        newval_stamp_seen.assign(im->n(), 0);
     }
+
+    /// Ticks the monitor must close to have audited every step: the audit
+    /// of step T-1 happens when tick 2(T-1)+3 = 2T+1 closes.
+    std::uint64_t end_tick() const { return 2 * im->T() + 2; }
 
     void on_step(const sim::StepEvent& ev) override {
       if (ev.op.kind != sim::Op::Kind::Write) return;
+      if (im->scheme == Scheme::kDeterministic &&
+          ev.op.addr >= im->newval_base &&
+          ev.op.addr < im->newval_base + im->n()) {
+        const std::size_t i = ev.op.addr - im->newval_base;
+        const sim::Word st = ev.after.stamp;
+        if (st > newval_stamp_seen[i] && st >= 1 &&
+            st <= static_cast<sim::Word>(im->T())) {
+          newval_stamp_seen[i] = st;
+          produced[static_cast<std::size_t>(st - 1)][i] = ev.after.value;
+        }
+        return;
+      }
       if (!im->clock->owns(ev.op.addr)) return;
       if (ev.after.value > ev.before.value)
         clock_total += ev.after.value - ev.before.value;
       const std::uint64_t now = clock_total / im->clock->threshold();
-      while (tick < now && tick < 2 * im->T()) finalize_subphase();
+      while (tick < now && tick < end_tick()) finalize_subphase();
     }
 
-    /// Finalize subphase `tick` and advance.
+    /// Close subphase `tick`: audit the step whose Copy subphase ended a
+    /// full phase ago, then advance.
     void finalize_subphase() {
-      const std::size_t s = static_cast<std::size_t>(tick / 2);
-      const sim::Word stamp = pram::stamp_of_step(static_cast<std::uint32_t>(s));
-      if (s < im->T()) {
-        if (tick % 2 == 0)
-          finalize_compute(s, stamp);
-        else
-          finalize_copy(s, stamp);
+      if (tick >= 3 && tick % 2 == 1) {
+        const std::size_t s = static_cast<std::size_t>((tick - 3) / 2);
+        if (s < im->T())
+          audit_commits(s,
+                        pram::stamp_of_step(static_cast<std::uint32_t>(s)));
       }
       ++tick;
     }
 
-    void finalize_compute(std::size_t s, sim::Word stamp) {
-      for (std::size_t i = 0; i < im->n(); ++i) {
-        const pram::Instr& ins = im->prog->step(s).instrs[i];
-        if (ins.op == pram::OpCode::kNop) continue;
-        if (im->scheme == Scheme::kNondeterministic) {
-          const auto v = im->bins->agreed_value(i, stamp);
-          if (v) {
-            produced[s][i] = *v;
-          } else {
-            ++incomplete;
-            // Record whatever a reader would see, for diagnosis.
-            const auto vals = im->bins->upper_half_values(i, stamp);
-            produced[s][i] = vals.empty() ? 0 : vals[0];
-          }
-        } else {
-          const sim::Cell c = im->sim->memory().at(im->newval_addr(i));
-          if (c.stamp == stamp)
-            produced[s][i] = c.value;
-          else
-            ++incomplete;
-        }
-      }
-    }
-
-    void finalize_copy(std::size_t s, sim::Word stamp) {
+    /// Read step s's committed generation slots: a matching stamp yields
+    /// the agreed value (nondet scheme — the det baseline keeps its
+    /// first-evaluation capture, see the struct comment); a missing one is
+    /// unfinished work (the scheme's designed w.h.p. failure mode,
+    /// surfaced to the caller).
+    void audit_commits(std::size_t s, sim::Word stamp) {
       for (std::size_t i = 0; i < im->n(); ++i) {
         const pram::Instr& ins = im->prog->step(s).instrs[i];
         if (!pram::writes_dest(ins.op)) continue;
         const sim::Cell c = im->sim->memory().at(im->var_addr(ins.z, stamp));
-        if (c.stamp != stamp) ++incomplete;
+        if (c.stamp == stamp) {
+          if (im->scheme == Scheme::kNondeterministic) produced[s][i] = c.value;
+        } else {
+          ++incomplete;
+        }
       }
     }
   };
@@ -243,14 +288,26 @@ struct Executor::Impl {
 
 Executor::Executor(const pram::Program& program, Scheme scheme, ExecConfig cfg)
     : prog_(&program), scheme_(scheme), cfg_(cfg) {
-  if (cfg.generations < 2)
-    throw std::invalid_argument("Executor: generations must be >= 2");
+  // G >= 3: the monitor audits step s's commits at the close of tick 2s+3,
+  // and a processor whose estimate leads true time by the tolerated ~2
+  // ticks may start the Copy subphase of step s+G (reusing the slot) at
+  // true tick 2(s+G)-1.  G=2 would put that reuse at 2s+3 — racing the
+  // audit — so the unsafe configuration is rejected outright.
+  if (cfg.generations < 3)
+    throw std::invalid_argument("Executor: generations must be >= 3");
   const std::size_t n = program.nthreads();
 
   apex::SeedTree seeds{cfg.seed};
-  sim_ = std::make_unique<sim::Simulator>(
-      sim::SimConfig{n, 0, cfg.seed},
-      sim::make_schedule(cfg.schedule, n, seeds.schedule()));
+  sim::SimConfig sc;
+  sc.nprocs = n;
+  sc.memory_words = 0;
+  sc.seed = cfg.seed;
+  sc.engine = cfg.engine;
+  auto schedule =
+      cfg.schedule_factory
+          ? cfg.schedule_factory(n, seeds.schedule())
+          : sim::make_schedule(cfg.schedule, n, seeds.schedule());
+  sim_ = std::make_unique<sim::Simulator>(sc, std::move(schedule));
 
   impl_ = std::make_unique<Impl>();
   impl_->prog = prog_;
@@ -292,6 +349,15 @@ Executor::Executor(const pram::Program& program, Scheme scheme, ExecConfig cfg)
 
 Executor::~Executor() = default;
 
+clockx::PhaseClock& Executor::clock() noexcept { return *impl_->clock; }
+
+agreement::BinArray* Executor::bins() noexcept { return impl_->bins.get(); }
+
+void Executor::set_agreement_observer(
+    agreement::AgreementObserver* obs) noexcept {
+  impl_->rt.observer = obs;
+}
+
 std::uint64_t Executor::default_budget(const pram::Program& p) {
   const std::size_t n = p.nthreads();
   agreement::AgreementConfig acfg;
@@ -316,8 +382,9 @@ ExecResult Executor::run(std::uint64_t max_work) {
 
   if (out.completed) {
     // Finalize any subphases whose boundary the monitor has not yet seen
-    // (processors exit on estimated ticks, which can lead the exact tick).
-    while (impl_->monitor.tick < 2 * impl_->T())
+    // (processors exit on estimated ticks, which can lead the exact tick),
+    // including the trailing audit ticks past 2T.
+    while (impl_->monitor.tick < impl_->monitor.end_tick())
       impl_->monitor.finalize_subphase();
   }
   out.produced = impl_->monitor.produced;

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -54,7 +55,10 @@ enum class Scheme {
 const char* scheme_name(Scheme s) noexcept;
 
 struct ExecConfig {
-  std::size_t generations = 4;  ///< G generation slots per program variable.
+  /// G generation slots per program variable.  Must be >= 3: the commit
+  /// audit runs one phase after each Copy subphase and is race-free only
+  /// while the slot cannot yet be reused (see Monitor in executor.cpp).
+  std::size_t generations = 4;
   std::size_t beta = 8;         ///< Bin sizing (nondeterministic scheme).
   // Updates per tick = α·n.  Must comfortably exceed β so each Compute
   // subphase (~α·n·lg n agreement cycles) fills every β·lg n-cell bin with
@@ -62,17 +66,28 @@ struct ExecConfig {
   double clock_alpha = 24.0;
   std::uint64_t seed = 1;
   sim::ScheduleKind schedule = sim::ScheduleKind::kUniformRandom;
+  /// Grant engine for the underlying simulator (the differential suite runs
+  /// every workload under both).
+  sim::GrantEngine engine = sim::GrantEngine::kBatched;
+  /// When set, overrides `schedule`: called with (nprocs, schedule-stream
+  /// rng) to build the adversary.  The fuzzer drives workloads with
+  /// FuzzedSchedule / shrunk ScriptedSchedule repros through this.
+  std::function<std::unique_ptr<sim::Schedule>(std::size_t, apex::Rng)>
+      schedule_factory;
 };
 
 struct ExecResult {
   bool completed = false;        ///< All 2·T subphases elapsed.
   std::uint64_t total_work = 0;  ///< Work units consumed (paper's measure).
   std::vector<pram::Word> memory;///< Final value of each program variable.
-  /// Agreed / last-written NewVal per (step, thread), captured at each
-  /// Compute->Copy transition; feeds pram::check_execution_consistency.
+  /// Committed (agreed) value per (step, thread), audited from the
+  /// generation slots one phase after each Copy subphase ends (stragglers
+  /// on estimated ticks have landed by then); feeds
+  /// pram::check_execution_consistency.
   std::vector<std::vector<pram::Word>> produced;
-  /// Subphase-boundary audits that found unfinished work (missing agreement
-  /// or missing copies).  0 in a clean run.
+  /// Commit audits that found unfinished work (a destination slot still
+  /// missing its stamp a full phase after the Copy subphase ended) — the
+  /// scheme's designed w.h.p. failure mode.  0 in a clean run.
   std::uint64_t incomplete_tasks = 0;
   /// Compute-task operand reads that found a stale/missing stamp and
   /// retried.  Nonzero is normal under hostile schedules; it measures
@@ -97,6 +112,15 @@ class Executor {
 
   const pram::Program& program() const noexcept { return *prog_; }
   sim::Simulator& simulator() noexcept { return *sim_; }
+
+  /// The scheme's phase clock (for out-of-band oracles / inspectors).
+  clockx::PhaseClock& clock() noexcept;
+  /// The agreement bin array; nullptr under the deterministic scheme.
+  agreement::BinArray* bins() noexcept;
+  /// Protocol-level observer for the agreement cycles (on_cycle /
+  /// on_phase_enter).  No-op under the deterministic scheme.  Set before
+  /// run(); the caller keeps ownership.
+  void set_agreement_observer(agreement::AgreementObserver* obs) noexcept;
 
  private:
   struct Impl;

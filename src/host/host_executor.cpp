@@ -31,6 +31,22 @@ HostExecutor::HostExecutor(const pram::Program& program, HostExecConfig cfg)
 }
 
 void HostExecutor::worker(std::size_t id) {
+  // A worker must never leak an exception out of its std::thread (that is
+  // std::terminate).  Pack-width overflows and layout bugs land here: record
+  // the first message, wave every thread off, and report via run().
+  try {
+    worker_body(id);
+  } catch (const std::exception& e) {
+    {
+      const std::lock_guard<std::mutex> lock(error_mu_);
+      if (error_.empty()) error_ = e.what();
+    }
+    abort_.store(true, std::memory_order_relaxed);
+    done_[id].store(2, std::memory_order_seq_cst);  // exited, not clean
+  }
+}
+
+void HostExecutor::worker_body(std::size_t id) {
   apex::SeedTree seeds{cfg_.seed};
   apex::Rng rng = seeds.processor(id);
   std::uint64_t& work = work_per_thread_[id];
@@ -70,6 +86,20 @@ void HostExecutor::worker(std::size_t id) {
       const auto v = read_operand(ins.x, w.x);
       if (!v) return std::nullopt;
       xv = *v;
+    }
+    if (ins.op == pram::OpCode::kGather) {
+      // Data-dependent addressing: resolve the computed target against the
+      // static writer table (known for every variable), same timestamp
+      // discipline as a static operand.  Out-of-window index reads 0.
+      const std::uint32_t target = pram::gather_target(ins, xv);
+      std::uint64_t gv = 0;
+      if (target != pram::kGatherOutOfRange) {
+        const auto v = read_operand(target, prog_->last_writer_before(s, target));
+        if (!v) return std::nullopt;
+        gv = *v;
+      }
+      work += 1;
+      return gv;
     }
     if (r >= 2) {
       const auto v = read_operand(ins.y, w.y);
@@ -165,12 +195,27 @@ void HostExecutor::worker(std::size_t id) {
         }
       }
       if (v) {
-        mem_.write(var_addr(ins.z, stamp), *v, stamp);
+        // Never regress a newer generation.  Real threads have UNBOUNDED
+        // tick-estimate staleness (the OS can park a thread across whole
+        // phases), so a woken straggler may re-run a copy task from G or
+        // more steps ago — blindly storing would clobber the newer write
+        // sharing the slot (stamp congruent mod G) with a stale value.
+        // The simulated executor needs no guard: its estimate skew is a
+        // couple of ticks, far inside the G-generation window.  The
+        // read+write pair below is not atomic, but shrinking the race from
+        // "parked anywhere since the task was chosen" to "parked between
+        // these two instructions AND for >= 2(G-1) ticks" makes it
+        // vanishingly unlikely rather than routine.
+        const HostCell cur = mem_.read(var_addr(ins.z, stamp));
         work += 1;
+        if (cur.stamp <= stamp) {
+          mem_.write(var_addr(ins.z, stamp), *v, stamp);
+          work += 1;
+        }
       }
     }
   }
-  done_[id].store(abort_.load(std::memory_order_relaxed) ? 0 : 1,
+  done_[id].store(abort_.load(std::memory_order_relaxed) ? 2 : 1,
                   std::memory_order_seq_cst);
 }
 
@@ -203,12 +248,16 @@ HostExecResult HostExecutor::run() {
   watchdog.join();
 
   HostExecResult out;
+  {
+    const std::lock_guard<std::mutex> lock(error_mu_);
+    out.error = error_;
+  }
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   out.completed = true;
   for (std::size_t id = 0; id < n_; ++id) {
-    out.completed &= (done_[id].load(std::memory_order_seq_cst) != 0);
+    out.completed &= (done_[id].load(std::memory_order_seq_cst) == 1);
     out.total_work += work_per_thread_[id];
     out.stamp_misses += miss_per_thread_[id];
   }
@@ -226,6 +275,25 @@ HostExecResult HostExecutor::run() {
       }
     }
     out.memory[v] = best_value;
+  }
+
+  // Commit audit (see header): every variable's final value must carry its
+  // last writer's stamp.  A tardy ultra-stale store cannot forge a newer
+  // stamp, so damage is always visible here.  Quiescent (threads joined),
+  // so the reads are exact.
+  if (out.completed && prog_->nsteps() > 0) {
+    const std::size_t last = prog_->nsteps() - 1;
+    for (std::uint32_t v = 0; v < prog_->nvars(); ++v) {
+      // last_writer_before(last, v) excludes the final step itself.
+      std::uint32_t writer = prog_->last_writer_before(last, v);
+      for (const pram::Instr& ins : prog_->step(last).instrs)
+        if (pram::writes_dest(ins.op) && ins.z == v)
+          writer = static_cast<std::uint32_t>(last);
+      if (writer == pram::kInitial) continue;
+      const std::uint32_t want =
+          static_cast<std::uint32_t>(pram::stamp_of_step(writer));
+      if (mem_.read(var_addr(v, want)).stamp != want) ++out.lost_commits;
+    }
   }
   return out;
 }

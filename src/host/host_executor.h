@@ -14,6 +14,22 @@
 // timing without seeing the protocol's random choices, which is exactly
 // the oblivious adversary's power.
 //
+// One honest fidelity boundary: the OS is STRONGER than the adversary the
+// scheme is tuned for.  The model's schedules stall a pending operation for
+// at most a bounded number of ticks, so a tardy generation-slot commit can
+// never be G or more phases stale; a real OS can park a thread between its
+// commit decision and the store for an unbounded time (we have observed a
+// worker on an oversubscribed machine waking after ~10 phases and clobbering
+// the slot its ancient stamp aliases mod G).  No write-only protocol closes
+// that window — the paper's word+stamp postulate forbids compare-and-swap —
+// but a tardy write always carries its OLD stamp, which makes the damage
+// DETECTABLE: run() audits every variable's last-writer slot after the
+// threads join and reports `lost_commits`.  An audit-clean run is sound
+// (readers accept only exact stamps, and the value stored under a given
+// stamp is always that step's unique agreed value, even when the store
+// itself was tardy); a non-zero audit means the memory must not be trusted
+// and the caller should re-run.
+//
 // Limits vs the simulator executor: program values must fit in 40 bits
 // (host Pack width), and there is no produced-trace monitor — tests verify
 // invariants on the final memory (deterministic kernels against the
@@ -24,6 +40,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "host/host_memory.h"
@@ -48,6 +66,14 @@ struct HostExecResult {
   std::vector<std::uint64_t> memory;  ///< Final value of each variable.
   std::uint64_t stamp_misses = 0;     ///< Operand reads that found a stale
                                       ///< stamp and retried (normal).
+  /// First worker-side fault (e.g. a program value exceeding the 40-bit
+  /// host Pack width).  Non-empty implies completed == false; the run
+  /// aborts cleanly instead of crashing the process.
+  std::string error;
+  /// Variables whose LAST writer's commit is absent from its generation
+  /// slot after the run (see the header comment on unbounded preemption).
+  /// 0 certifies the extracted memory; non-zero means re-run.
+  std::size_t lost_commits = 0;
 };
 
 class HostExecutor {
@@ -58,8 +84,19 @@ class HostExecutor {
   /// join, and extract the final memory.
   HostExecResult run();
 
+  /// Raw host memory (clock | bins | generation slots) — for inspectors
+  /// and tests; read it only after run() returned.
+  const HostMemory& memory() const noexcept { return mem_; }
+  /// Address of the generation slot var v uses for `stamp` (inspectors).
+  std::size_t var_slot_addr(std::uint32_t var, std::uint32_t stamp) const {
+    return var_addr(var, stamp);
+  }
+
  private:
   void worker(std::size_t id);
+  /// Body of worker(); throwing (e.g. Pack width overflow) aborts the run
+  /// cleanly via the wrapper's catch instead of std::terminate.
+  void worker_body(std::size_t id);
 
   // Memory layout helpers (clock slots | bins | variable generations).
   std::size_t bin_addr(std::size_t bin, std::size_t cell) const {
@@ -82,6 +119,8 @@ class HostExecutor {
   HostMemory mem_;
 
   std::atomic<bool> abort_{false};
+  std::mutex error_mu_;
+  std::string error_;  ///< First worker fault (guarded by error_mu_).
   std::vector<std::uint64_t> work_per_thread_;
   std::vector<std::uint64_t> miss_per_thread_;
   /// Per-thread clean-completion flags (watchdog reads them live).

@@ -6,6 +6,15 @@ namespace apex::pram {
 
 namespace {
 
+/// The value a kGather produces against the pre-step image `mem`.  An
+/// out-of-window computed index is defined as 0; the target is addressed
+/// through gather_target so the 64-bit index value can never overflow the
+/// std::size_t subscript (the window bound caps it first).
+Word eval_gather(const Instr& ins, const std::vector<Word>& mem) {
+  const std::uint32_t target = gather_target(ins, mem[ins.x]);
+  return target == kGatherOutOfRange ? 0 : mem[target];
+}
+
 Word eval_with_rng(const Instr& ins, const std::vector<Word>& mem,
                    apex::Rng& rng) {
   switch (ins.op) {
@@ -14,6 +23,8 @@ Word eval_with_rng(const Instr& ins, const std::vector<Word>& mem,
     case OpCode::kCoin:
       return rng.uniform() * 4294967296.0 < static_cast<double>(ins.imm) ? 1
                                                                          : 0;
+    case OpCode::kGather:
+      return eval_gather(ins, mem);
     default:
       return eval_deterministic(ins, mem[ins.x], mem[ins.y], mem[ins.c]);
   }
@@ -70,7 +81,12 @@ std::string check_execution_consistency(
       const Instr& ins = st.instrs[t];
       if (ins.op == OpCode::kNop) continue;
       const Word got = produced[s][t];
-      if (!in_support(ins, got, mem[ins.x], mem[ins.y], mem[ins.c]))
+      // kGather resolves its window read against the replay image; the x/y
+      // operand slots passed to in_support follow eval_deterministic's
+      // resolved-gather convention.
+      const Word yv = ins.op == OpCode::kGather ? eval_gather(ins, mem)
+                                                : mem[ins.y];
+      if (!in_support(ins, got, mem[ins.x], yv, mem[ins.c]))
         return "step " + std::to_string(s) + " thread " + std::to_string(t) +
                ": value " + std::to_string(got) + " not a valid result of " +
                ins.to_string();

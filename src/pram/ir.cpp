@@ -23,6 +23,7 @@ const char* opcode_name(OpCode op) noexcept {
     case OpCode::kSelect: return "select";
     case OpCode::kRandBelow: return "rand_below";
     case OpCode::kCoin: return "coin";
+    case OpCode::kGather: return "gather";
   }
   return "?";
 }
@@ -39,6 +40,7 @@ int reads_of(OpCode op) noexcept {
     case OpCode::kCoin:
       return 0;
     case OpCode::kCopy:
+    case OpCode::kGather:
       return 1;
     case OpCode::kSelect:
       return 3;
@@ -48,6 +50,8 @@ int reads_of(OpCode op) noexcept {
 }
 
 bool writes_dest(OpCode op) noexcept { return op != OpCode::kNop; }
+
+bool reads_window(OpCode op) noexcept { return op == OpCode::kGather; }
 
 Instr Instr::coin(std::uint32_t z, double p) {
   p = std::clamp(p, 0.0, 1.0);
@@ -63,9 +67,13 @@ std::string Instr::to_string() const {
   if (op == OpCode::kSelect)
     s += " <- v" + std::to_string(c) + " ? v" + std::to_string(x) + " : v" +
          std::to_string(y);
+  else if (op == OpCode::kGather)
+    s += " <- v[" + std::to_string(y) + " + M[v" + std::to_string(x) +
+         "]] window=" + std::to_string(c);
   else if (r >= 1)
     s += " <- v" + std::to_string(x);
-  if (r >= 2 && op != OpCode::kSelect) s += ", v" + std::to_string(y);
+  if (r >= 2 && op != OpCode::kSelect && op != OpCode::kGather)
+    s += ", v" + std::to_string(y);
   if (op == OpCode::kConst || op == OpCode::kRandBelow || op == OpCode::kCoin)
     s += " imm=" + std::to_string(imm);
   return s;
@@ -86,6 +94,8 @@ Word eval_deterministic(const Instr& ins, Word x, Word y, Word c) noexcept {
     case OpCode::kLess: return x < y ? 1 : 0;
     case OpCode::kEq: return x == y ? 1 : 0;
     case OpCode::kSelect: return c != 0 ? x : y;
+    // kGather: the caller resolved the window read into y (0 out of range).
+    case OpCode::kGather: return y;
     default: return 0;  // kNop and nondeterministic ops have no det value
   }
 }

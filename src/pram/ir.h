@@ -12,9 +12,18 @@
 // instruction), which is what lets the execution scheme precompute, for
 // every read, the step that last wrote the operand (the "writer table") and
 // thus distinguish current values from tardy clobbers by timestamp.
+//
+// The one extension beyond the paper's static model is kGather: a read
+// whose target variable is COMPUTED at run time from another variable's
+// value, restricted to a statically declared window.  The writer table
+// still covers it because the table records the last writer of EVERY
+// variable before every step — only the choice of which entry to consult
+// moves to run time.  See the kGather comment below for the exact
+// semantics and the EREW discipline it obeys.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 
 #include "sim/word.h"
@@ -40,6 +49,15 @@ enum class OpCode : std::uint8_t {
   kSelect,     ///< z = (c != 0) ? x : y       (three-operand conditional)
   kRandBelow,  ///< z = uniform random in [0, imm)        [nondeterministic]
   kCoin,       ///< z = 1 w.p. imm/2^32, else 0           [nondeterministic]
+  /// Data-dependent read: let j = value of variable x; if j < c (the window
+  /// length, a CONSTANT, not a variable), z = value of variable (y + j),
+  /// else z = 0.  y is the window base (also a constant).  The window
+  /// [y, y+c) must lie inside nvars; an out-of-range COMPUTED index is
+  /// well-defined (result 0), never a fault.  EREW: the whole window counts
+  /// as read by the issuing thread (conservative — at run time exactly one
+  /// cell is read), so two threads may not gather from overlapping windows
+  /// in one step, and no other thread may read a window variable that step.
+  kGather,
 };
 
 const char* opcode_name(OpCode op) noexcept;
@@ -48,11 +66,17 @@ const char* opcode_name(OpCode op) noexcept;
 /// random stream.
 bool is_nondeterministic(OpCode op) noexcept;
 
-/// Number of variable operands read by the op (0, 1, 2, or 3 for kSelect).
+/// Number of STATICALLY addressed variable operands read by the op (0, 1,
+/// 2, or 3 for kSelect).  kGather reports 1 (the index variable x); its
+/// run-time window read is extra and handled by the executors directly.
 int reads_of(OpCode op) noexcept;
 
 /// True if the op writes its destination (everything but kNop).
 bool writes_dest(OpCode op) noexcept;
+
+/// True for kGather: the op performs a second, run-time-addressed read
+/// inside the window [y, y+c).
+bool reads_window(OpCode op) noexcept;
 
 struct Instr {
   OpCode op = OpCode::kNop;
@@ -107,14 +131,35 @@ struct Instr {
   static Instr rand_below(std::uint32_t z, Word bound) {
     return {OpCode::kRandBelow, z, 0, 0, 0, bound};
   }
+  /// z = (M[idx] < len) ? M[base + M[idx]] : 0.  `base`/`len` declare the
+  /// static window; only `idx` is a variable operand.
+  static Instr gather(std::uint32_t z, std::uint32_t idx, std::uint32_t base,
+                      std::uint32_t len) {
+    return {OpCode::kGather, z, idx, base, len, 0};
+  }
   /// Coin with success probability p (quantized to 32-bit fixed point).
   static Instr coin(std::uint32_t z, double p);
 
   std::string to_string() const;
 };
 
+/// Sentinel returned by gather_target for an out-of-window computed index.
+inline constexpr std::uint32_t kGatherOutOfRange =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// The variable a kGather with index value `j` reads, or kGatherOutOfRange
+/// when j falls outside the declared window (the result is then 0).
+/// Precondition: ins.op == kGather.
+inline constexpr std::uint32_t gather_target(const Instr& ins,
+                                             Word j) noexcept {
+  return j < ins.c ? ins.y + static_cast<std::uint32_t>(j)
+                   : kGatherOutOfRange;
+}
+
 /// Pure evaluation of a deterministic op on operand values.
-/// Precondition: !is_nondeterministic(op).
+/// Precondition: !is_nondeterministic(op).  For kGather, `x` must be the
+/// index value and `y` the value of the computed target variable (0 when
+/// out of window): the result is then simply that window value.
 Word eval_deterministic(const Instr& ins, Word x, Word y, Word c) noexcept;
 
 /// True iff `v` is a possible result of the (possibly nondeterministic)

@@ -35,6 +35,22 @@ void Program::validate_erew(std::size_t nthreads, std::size_t nvars,
       if (r >= 1) bump_or_throw(reads, ins.x, nvars, s, "read");
       if (r >= 2) bump_or_throw(reads, ins.y, nvars, s, "read");
       if (r >= 3) bump_or_throw(reads, ins.c, nvars, s, "read");
+      if (reads_window(ins.op)) {
+        // The whole declared window counts as read: at run time exactly one
+        // cell is, but which one is data-dependent, so exclusivity must be
+        // guaranteed for every possible index.
+        if (ins.c == 0)
+          throw std::invalid_argument("PRAM step " + std::to_string(s) +
+                                      ": gather window length is 0");
+        if (static_cast<std::uint64_t>(ins.y) + ins.c > nvars)
+          throw std::invalid_argument(
+              "PRAM step " + std::to_string(s) + ": gather window [v" +
+              std::to_string(ins.y) + ", v" +
+              std::to_string(static_cast<std::uint64_t>(ins.y) + ins.c) +
+              ") exceeds nvars=" + std::to_string(nvars));
+        for (std::uint32_t v = ins.y; v < ins.y + ins.c; ++v)
+          bump_or_throw(reads, v, nvars, s, "read");
+      }
       if (writes_dest(ins.op)) bump_or_throw(writes, ins.z, nvars, s, "written");
     }
     // Reading and writing the same variable within one step is legal: the

@@ -1,8 +1,11 @@
 #include "pram/workloads.h"
 
+#include <algorithm>
+#include <numeric>
 #include <stdexcept>
 
 #include "util/math.h"
+#include "util/rng.h"
 
 namespace apex::pram {
 
@@ -330,6 +333,644 @@ Program make_ring_coloring(std::size_t n, Word palette) {
     return Instr::eq(u32(conf + i), u32(col + i), u32(right + i));
   });
   return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// BFS frontier expansion (irregular: predicated, data-dependent propagation).
+// Layout (12 regions of n): dist front em0..em3 s1 reach nf roundv u sent
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kBfsTag = 0xBF5;
+
+std::size_t bfs_offset(std::size_t n, std::size_t o) {
+  const std::size_t offs[4] = {1, n - 1, 3 % n, (n - 3) % n};
+  return offs[o];
+}
+
+}  // namespace
+
+std::size_t bfs_rounds(std::size_t n) { return n / 2 + 2; }
+
+std::uint32_t bfs_dist_var(std::size_t n, std::size_t i) {
+  (void)n;
+  return u32(i);
+}
+
+Word bfs_unreached(std::size_t n) { return static_cast<Word>(2 * n); }
+
+bool bfs_edge_active(std::size_t n, std::size_t o, std::size_t i) {
+  const std::uint64_t h =
+      apex::mix64(apex::mix64(kBfsTag, n), o * n + i);
+  // Ring edges (offsets 1, n-1) are dense (3/4), chords (3, n-3) sparse
+  // (1/2): most nodes stay reachable while distances spread irregularly.
+  return o < 2 ? (h % 4) != 0 : (h % 2) != 0;
+}
+
+Program make_bfs_frontier(std::size_t n, std::size_t rounds) {
+  if (n < 6)
+    throw std::invalid_argument("make_bfs_frontier: need n >= 6");
+  if (rounds < 1)
+    throw std::invalid_argument("make_bfs_frontier: need rounds >= 1");
+  const std::size_t dist = 0, front = n, em = 2 * n /* 4 regions */,
+                    s1 = 6 * n, reach = 7 * n, nf = 8 * n, roundv = 9 * n,
+                    u = 10 * n, sent = 11 * n;
+  ProgramBuilder b(n, 12 * n);
+
+  // Prologue: distances to the sentinel (source 0 fixed next step), the
+  // initial frontier, the edge masks (graph data lives in program memory),
+  // and the per-thread sentinel constants.
+  b.step().all([&](std::size_t i) {
+    return Instr::constant(u32(dist + i), bfs_unreached(n));
+  });
+  b.step().thread(0, Instr::constant(u32(dist + 0), 0));
+  b.step().all([&](std::size_t i) {
+    return Instr::constant(u32(front + i), i == 0 ? 1 : 0);
+  });
+  for (std::size_t o = 0; o < 4; ++o)
+    b.step().all([&](std::size_t i) {
+      return Instr::constant(u32(em + o * n + i),
+                             bfs_edge_active(n, o, i) ? 1 : 0);
+    });
+  b.step().all([&](std::size_t i) {
+    return Instr::constant(u32(sent + i), bfs_unreached(n));
+  });
+
+  for (std::size_t r = 0; r < rounds; ++r) {
+    b.step().all([&](std::size_t i) {
+      return Instr::constant(u32(roundv + i), static_cast<Word>(r + 1));
+    });
+    b.step().all(
+        [&](std::size_t i) { return Instr::constant(u32(reach + i), 0); });
+    for (std::size_t o = 0; o < 4; ++o) {
+      const std::size_t off = bfs_offset(n, o);
+      // Staged in-neighbour read: i - off is a rotation, so every front[j]
+      // is read by exactly one thread (EREW).
+      b.step().all([&](std::size_t i) {
+        return Instr::copy(u32(s1 + i), u32(front + (i + n - off) % n));
+      });
+      b.step().all([&](std::size_t i) {
+        return Instr::and_(u32(s1 + i), u32(s1 + i), u32(em + o * n + i));
+      });
+      b.step().all([&](std::size_t i) {
+        return Instr::or_(u32(reach + i), u32(reach + i), u32(s1 + i));
+      });
+    }
+    // Join iff reached now and not yet visited; record the distance.
+    b.step().all([&](std::size_t i) {
+      return Instr::eq(u32(u + i), u32(dist + i), u32(sent + i));
+    });
+    b.step().all([&](std::size_t i) {
+      return Instr::and_(u32(nf + i), u32(reach + i), u32(u + i));
+    });
+    b.step().all([&](std::size_t i) {
+      return Instr::select(u32(dist + i), u32(nf + i), u32(roundv + i),
+                           u32(dist + i));
+    });
+    b.step().all(
+        [&](std::size_t i) { return Instr::copy(u32(front + i), u32(nf + i)); });
+  }
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// Bitonic (butterfly) merge.
+// Layout: a[0..n) lo[n..n+n/2) hi[n+n/2..2n); one staged compare-exchange
+// per butterfly stage, value-driven via kMin/kMax.
+// ---------------------------------------------------------------------------
+
+std::uint32_t merge_var(std::size_t n, std::size_t i) {
+  (void)n;
+  return u32(i);
+}
+
+Program make_bitonic_merge(std::size_t n) {
+  require_pow2(n, "make_bitonic_merge");
+  const std::size_t a = 0, lo = n, hi = n + n / 2;
+  ProgramBuilder b(n, 2 * n);
+  for (std::size_t d = n / 2; d >= 1; d /= 2) {
+    // Pairs (i, i^d) for i with bit d clear, indexed densely by p.
+    std::vector<std::size_t> firsts;
+    for (std::size_t i = 0; i < n; ++i)
+      if ((i & d) == 0) firsts.push_back(i);
+    {
+      auto s = b.step();
+      for (std::size_t p = 0; p < firsts.size(); ++p)
+        s.thread(p, Instr::min(u32(lo + p), u32(a + firsts[p]),
+                               u32(a + (firsts[p] | d))));
+    }
+    {
+      auto s = b.step();
+      for (std::size_t p = 0; p < firsts.size(); ++p)
+        s.thread(p, Instr::max(u32(hi + p), u32(a + firsts[p]),
+                               u32(a + (firsts[p] | d))));
+    }
+    {
+      auto s = b.step();
+      for (std::size_t p = 0; p < firsts.size(); ++p) {
+        s.thread(firsts[p], Instr::copy(u32(a + firsts[p]), u32(lo + p)));
+        s.thread(firsts[p] | d, Instr::copy(u32(a + (firsts[p] | d)), u32(hi + p)));
+      }
+    }
+  }
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// CSR sparse mat-vec with computed-index gathers.
+// Layout: x[0..n) idx[n..n+nnz) val[..+nnz) g[..+nnz) prod[..+nnz) y[..+n)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kSpmvTag = 0x59317;
+
+/// Irregular row degrees: mostly 1-3, every ~5th row heavy (up to 6).
+std::size_t spmv_row_degree(std::size_t n, std::size_t i) {
+  const std::uint64_t h = apex::mix64(apex::mix64(kSpmvTag, n), i);
+  return 1 + h % 3 + (h % 5 == 0 ? 3 : 0);
+}
+
+/// Total nonzeros of the baked instance, without materializing it.
+std::size_t spmv_nnz(std::size_t n) {
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < n; ++i) nnz += spmv_row_degree(n, i);
+  return nnz;
+}
+
+}  // namespace
+
+SpmvInstance spmv_instance(std::size_t n) {
+  SpmvInstance m;
+  m.row_ptr.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t deg = spmv_row_degree(n, i);
+    for (std::size_t k = 0; k < deg; ++k) {
+      const std::uint64_t e =
+          apex::mix64(apex::mix64(kSpmvTag + 1, n), i * 64 + k);
+      m.col.push_back(static_cast<std::size_t>(e % n));
+      m.val.push_back(1 + e / n % 9);
+    }
+    m.row_ptr[i + 1] = m.col.size();
+  }
+  m.x.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    m.x[i] = 1 + apex::mix64(apex::mix64(kSpmvTag + 2, n), i) % 99;
+  return m;
+}
+
+std::uint32_t spmv_y_var(std::size_t n, std::size_t i) {
+  return u32(n + 4 * spmv_nnz(n) + i);
+}
+
+Program make_spmv_csr(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("make_spmv_csr: need n >= 2");
+  const SpmvInstance m = spmv_instance(n);
+  const std::size_t nnz = m.col.size();
+  const std::size_t x = 0, idx = n, val = n + nnz, g = n + 2 * nnz,
+                    prod = n + 3 * nnz, y = n + 4 * nnz;
+  ProgramBuilder b(n, 2 * n + 4 * nnz);
+
+  // Prologue: x, then the CSR arrays — the column indices are DATA in
+  // program memory; the gathers below address x through them at run time.
+  b.step().all([&](std::size_t i) {
+    return Instr::constant(u32(x + i), m.x[i]);
+  });
+  for (std::size_t base = 0; base < nnz; base += n) {
+    auto s = b.step();
+    for (std::size_t i = 0; i < n && base + i < nnz; ++i)
+      s.thread(i, Instr::constant(u32(idx + base + i),
+                                  static_cast<Word>(m.col[base + i])));
+  }
+  for (std::size_t base = 0; base < nnz; base += n) {
+    auto s = b.step();
+    for (std::size_t i = 0; i < n && base + i < nnz; ++i)
+      s.thread(i, Instr::constant(u32(val + base + i), m.val[base + i]));
+  }
+
+  // Gather pipeline: one computed-index gather over the x window per step
+  // (the window is conservatively exclusive under EREW), overlapped with
+  // the previous element's multiply — its operands live outside the window.
+  for (std::size_t e = 0; e <= nnz; ++e) {
+    auto s = b.step();
+    if (e < nnz)
+      s.thread(e % n, Instr::gather(u32(g + e), u32(idx + e), u32(x), u32(n)));
+    if (e > 0)
+      s.thread((e - 1) % n,
+               Instr::mul(u32(prod + e - 1), u32(g + e - 1), u32(val + e - 1)));
+  }
+
+  // Row accumulation: at slot t every row with > t nonzeros adds its t-th
+  // product (distinct prod vars, own y cell — EREW).
+  std::size_t maxdeg = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    maxdeg = std::max(maxdeg, m.row_ptr[i + 1] - m.row_ptr[i]);
+  for (std::size_t t = 0; t < maxdeg; ++t) {
+    auto s = b.step();
+    for (std::size_t i = 0; i < n; ++i)
+      if (m.row_ptr[i] + t < m.row_ptr[i + 1])
+        s.thread(i, Instr::add(u32(y + i), u32(y + i),
+                               u32(prod + m.row_ptr[i] + t)));
+  }
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing-shaped DAG.
+// Layout: v[(levels+1)*n] coin[levels*n] pa[levels*n] pb[levels*n]
+//         sel[levels*n] one[n]
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::size_t dag_v_base(std::size_t) { return 0; }
+std::size_t dag_coin_base(std::size_t n, std::size_t levels) {
+  return (levels + 1) * n;
+}
+std::size_t dag_pa_base(std::size_t n, std::size_t levels) {
+  return dag_coin_base(n, levels) + levels * n;
+}
+std::size_t dag_pb_base(std::size_t n, std::size_t levels) {
+  return dag_pa_base(n, levels) + levels * n;
+}
+std::size_t dag_sel_base(std::size_t n, std::size_t levels) {
+  return dag_pb_base(n, levels) + levels * n;
+}
+std::size_t dag_one_base(std::size_t n, std::size_t levels) {
+  return dag_sel_base(n, levels) + levels * n;
+}
+
+}  // namespace
+
+std::size_t steal_dag_levels(std::size_t n) { return n / 2 + 1; }
+
+std::uint32_t dag_value_var(std::size_t n, std::size_t levels, std::size_t l,
+                            std::size_t w) {
+  (void)levels;
+  return u32(dag_v_base(n) + l * n + w);
+}
+
+std::uint32_t dag_coin_var(std::size_t n, std::size_t levels, std::size_t l,
+                           std::size_t w) {
+  // Coins exist for levels 1..levels; stored at index (l-1).
+  return u32(dag_coin_base(n, levels) + (l - 1) * n + w);
+}
+
+Program make_steal_dag(std::size_t n, std::size_t levels) {
+  if (n < 2) throw std::invalid_argument("make_steal_dag: need n >= 2");
+  if (levels < 1)
+    throw std::invalid_argument("make_steal_dag: need levels >= 1");
+  const std::size_t v = dag_v_base(n), coin = dag_coin_base(n, levels),
+                    pa = dag_pa_base(n, levels), pb = dag_pb_base(n, levels),
+                    sel = dag_sel_base(n, levels),
+                    one = dag_one_base(n, levels);
+  ProgramBuilder b(n, one + n);
+
+  b.step().all([&](std::size_t w) {
+    return Instr::constant(u32(v + w), static_cast<Word>(3 * w + 1));
+  });
+  b.step().all(
+      [&](std::size_t w) { return Instr::constant(u32(one + w), 1); });
+
+  for (std::size_t l = 1; l <= levels; ++l) {
+    const std::size_t cl = coin + (l - 1) * n, pal = pa + (l - 1) * n,
+                      pbl = pb + (l - 1) * n, sll = sel + (l - 1) * n,
+                      prev = v + (l - 1) * n, cur = v + l * n;
+    // The random victim choice: 0 = own lane, 1 = steal from the right.
+    b.step().all(
+        [&](std::size_t w) { return Instr::rand_below(u32(cl + w), 2); });
+    b.step().all([&](std::size_t w) {
+      return Instr::copy(u32(pal + w), u32(prev + w));
+    });
+    b.step().all([&](std::size_t w) {
+      return Instr::copy(u32(pbl + w), u32(prev + (w + 1) % n));
+    });
+    b.step().all([&](std::size_t w) {
+      return Instr::select(u32(sll + w), u32(cl + w), u32(pbl + w),
+                           u32(pal + w));
+    });
+    b.step().all([&](std::size_t w) {
+      return Instr::add(u32(cur + w), u32(sll + w), u32(one + w));
+    });
+  }
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// Workload registry: canonical instances + final-memory verdicts.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Canonical parameters of the registered instances.
+constexpr Word kLubyK = 1 << 16;
+constexpr Word kLeaderK = 1 << 16;
+constexpr Word kRingPalette = 4;
+constexpr std::size_t kCoinSteps = 4;
+constexpr double kCoinP = 0.5;
+constexpr std::size_t kProbeChain = 8;
+constexpr Word kProbeK = 1 << 20;
+
+/// Prepend a constants step seeding vars [0, in.size()) — registered
+/// deterministic kernels carry their canonical inputs in the program.
+Program with_const_inputs(const Program& p, const std::vector<Word>& in) {
+  ProgramBuilder b(p.nthreads(), p.nvars());
+  b.step().all([&](std::size_t i) {
+    return i < in.size()
+               ? Instr::constant(static_cast<std::uint32_t>(i), in[i])
+               : Instr::nop();
+  });
+  for (std::size_t s = 0; s < p.nsteps(); ++s) {
+    auto sb = b.step();
+    for (std::size_t t = 0; t < p.nthreads(); ++t)
+      sb.thread(t, p.step(s).instrs[t]);
+  }
+  return b.build();
+}
+
+std::vector<Word> iota_inputs(std::size_t n) {
+  std::vector<Word> in(n);
+  std::iota(in.begin(), in.end(), 1);
+  return in;
+}
+
+std::vector<Word> bitonic_inputs(std::size_t n) {
+  std::vector<Word> in(n);
+  for (std::size_t i = 0; i < n; ++i)
+    in[i] = i < n / 2 ? static_cast<Word>(3 * i + 2)
+                      : static_cast<Word>(3 * (n - i) + 1);
+  return in;
+}
+
+std::string mismatch(const char* what, std::size_t i, Word got, Word want) {
+  return std::string(what) + "[" + std::to_string(i) + "] = " +
+         std::to_string(got) + ", expected " + std::to_string(want);
+}
+
+// ---- make functions (canonical instances) ---------------------------------
+
+Program reg_make_luby(std::size_t n) { return make_luby_cycle_round(n, kLubyK); }
+Program reg_make_leader(std::size_t n) {
+  return make_leader_election(n, kLeaderK);
+}
+Program reg_make_ring(std::size_t n) {
+  return make_ring_coloring(n, kRingPalette);
+}
+Program reg_make_coins(std::size_t n) {
+  return make_coin_matrix(n, kCoinSteps, kCoinP);
+}
+Program reg_make_probe(std::size_t n) {
+  return make_consistency_probe(n, kProbeChain, kProbeK);
+}
+Program reg_make_prefix(std::size_t n) {
+  return with_const_inputs(make_prefix_sum(n), iota_inputs(n));
+}
+Program reg_make_sort(std::size_t n) {
+  auto in = iota_inputs(n);
+  std::reverse(in.begin(), in.end());
+  return with_const_inputs(make_odd_even_sort(n), in);
+}
+Program reg_make_reduction(std::size_t n) {
+  return with_const_inputs(make_reduction(n), iota_inputs(n));
+}
+Program reg_make_bfs(std::size_t n) {
+  return make_bfs_frontier(n, bfs_rounds(n));
+}
+Program reg_make_merge(std::size_t n) {
+  return with_const_inputs(make_bitonic_merge(n), bitonic_inputs(n));
+}
+Program reg_make_spmv(std::size_t n) { return make_spmv_csr(n); }
+Program reg_make_dag(std::size_t n) {
+  return make_steal_dag(n, steal_dag_levels(n));
+}
+
+// ---- final-memory verdicts -------------------------------------------------
+
+std::string check_luby(std::size_t n, const std::vector<Word>& mem) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Word r = mem[luby_priority_var(n, i)];
+    if (r >= kLubyK) return mismatch("luby priority", i, r, kLubyK - 1);
+    const Word want =
+        mem[luby_priority_var(n, (i + n - 1) % n)] < r &&
+                mem[luby_priority_var(n, (i + 1) % n)] < r
+            ? 1
+            : 0;
+    if (mem[luby_mis_var(n, i)] != want)
+      return mismatch("luby mis flag", i, mem[luby_mis_var(n, i)], want);
+    if (mem[luby_violation_var(n, i)] != 0)
+      return mismatch("luby independence violation", i,
+                      mem[luby_violation_var(n, i)], 0);
+  }
+  return {};
+}
+
+std::string check_leader(std::size_t n, const std::vector<Word>& mem) {
+  Word maxr = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Word r = mem[leader_ticket_var(n, i)];
+    if (r >= kLeaderK) return mismatch("leader ticket", i, r, kLeaderK - 1);
+    maxr = std::max(maxr, r);
+  }
+  std::size_t leaders = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mem[leader_max_var(n, i)] != maxr)
+      return mismatch("leader broadcast", i, mem[leader_max_var(n, i)], maxr);
+    const Word want = mem[leader_ticket_var(n, i)] == maxr ? 1 : 0;
+    if (mem[leader_flag_var(n, i)] != want)
+      return mismatch("leader flag", i, mem[leader_flag_var(n, i)], want);
+    leaders += mem[leader_flag_var(n, i)];
+  }
+  if (leaders < 1) return "no leader elected";
+  return {};
+}
+
+std::string check_ring(std::size_t n, const std::vector<Word>& mem) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Word ci = mem[ring_color_var(n, i)];
+    const Word cn = mem[ring_color_var(n, (i + 1) % n)];
+    if (ci >= kRingPalette)
+      return mismatch("ring color", i, ci, kRingPalette - 1);
+    const Word want = ci == cn ? 1 : 0;
+    if (mem[ring_conflict_var(n, i)] != want)
+      return mismatch("ring conflict flag", i, mem[ring_conflict_var(n, i)],
+                      want);
+  }
+  return {};
+}
+
+std::string check_coins(std::size_t n, const std::vector<Word>& mem) {
+  for (std::size_t s = 0; s < kCoinSteps; ++s)
+    for (std::size_t i = 0; i < n; ++i)
+      if (mem[coin_matrix_var(n, s, i)] > 1)
+        return mismatch("coin", s * n + i, mem[coin_matrix_var(n, s, i)], 1);
+  return {};
+}
+
+std::string check_probe(std::size_t n, const std::vector<Word>& mem) {
+  for (std::size_t j = 0; j < probe_flag_count(kProbeChain); ++j)
+    if (mem[probe_flag_var(n, kProbeChain, j)] != 1)
+      return mismatch("probe flag", j, mem[probe_flag_var(n, kProbeChain, j)],
+                      1);
+  return {};
+}
+
+std::string check_prefix(std::size_t n, const std::vector<Word>& mem) {
+  Word run = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    run += static_cast<Word>(i + 1);
+    if (mem[prefix_sum_var(n, i)] != run)
+      return mismatch("prefix sum", i, mem[prefix_sum_var(n, i)], run);
+  }
+  return {};
+}
+
+std::string check_sort(std::size_t n, const std::vector<Word>& mem) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (mem[sort_var(n, i)] != static_cast<Word>(i + 1))
+      return mismatch("sorted", i, mem[sort_var(n, i)],
+                      static_cast<Word>(i + 1));
+  return {};
+}
+
+std::string check_reduction(std::size_t n, const std::vector<Word>& mem) {
+  const Word want = static_cast<Word>(n * (n + 1) / 2);
+  if (mem[reduction_result_var(n)] != want)
+    return mismatch("reduction", 0, mem[reduction_result_var(n)], want);
+  return {};
+}
+
+std::string check_bfs(std::size_t n, const std::vector<Word>& mem) {
+  // Rebuild the exact baked graph and run a level-capped reference BFS.
+  const std::size_t rounds = bfs_rounds(n);
+  std::vector<Word> want(n, bfs_unreached(n));
+  want[0] = 0;
+  std::vector<std::size_t> frontier = {0};
+  for (std::size_t r = 0; r < rounds && !frontier.empty(); ++r) {
+    std::vector<std::uint8_t> reach(n, 0);
+    for (std::size_t o = 0; o < 4; ++o) {
+      const std::size_t off = bfs_offset(n, o);
+      for (std::size_t j : frontier) {
+        const std::size_t i = (j + off) % n;
+        if (bfs_edge_active(n, o, i)) reach[i] = 1;
+      }
+    }
+    frontier.clear();
+    for (std::size_t i = 0; i < n; ++i)
+      if (reach[i] && want[i] == bfs_unreached(n)) {
+        want[i] = static_cast<Word>(r + 1);
+        frontier.push_back(i);
+      }
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    if (mem[bfs_dist_var(n, i)] != want[i])
+      return mismatch("bfs dist", i, mem[bfs_dist_var(n, i)], want[i]);
+  return {};
+}
+
+std::string check_merge(std::size_t n, const std::vector<Word>& mem) {
+  std::vector<Word> want = bitonic_inputs(n);
+  std::sort(want.begin(), want.end());
+  for (std::size_t i = 0; i < n; ++i)
+    if (mem[merge_var(n, i)] != want[i])
+      return mismatch("merged", i, mem[merge_var(n, i)], want[i]);
+  return {};
+}
+
+std::string check_spmv(std::size_t n, const std::vector<Word>& mem) {
+  const SpmvInstance m = spmv_instance(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Word want = 0;
+    for (std::size_t e = m.row_ptr[i]; e < m.row_ptr[i + 1]; ++e)
+      want += m.val[e] * m.x[m.col[e]];
+    if (mem[spmv_y_var(n, i)] != want)
+      return mismatch("spmv y", i, mem[spmv_y_var(n, i)], want);
+  }
+  return {};
+}
+
+std::string check_dag(std::size_t n, const std::vector<Word>& mem) {
+  const std::size_t levels = steal_dag_levels(n);
+  const std::size_t pa = dag_pa_base(n, levels), pb = dag_pb_base(n, levels),
+                    sel = dag_sel_base(n, levels);
+  for (std::size_t w = 0; w < n; ++w) {
+    if (mem[dag_value_var(n, levels, 0, w)] != static_cast<Word>(3 * w + 1))
+      return mismatch("dag seed", w, mem[dag_value_var(n, levels, 0, w)],
+                      static_cast<Word>(3 * w + 1));
+  }
+  for (std::size_t l = 1; l <= levels; ++l)
+    for (std::size_t w = 0; w < n; ++w) {
+      const Word c = mem[dag_coin_var(n, levels, l, w)];
+      if (c > 1) return mismatch("dag coin", l * n + w, c, 1);
+      const Word own = mem[dag_value_var(n, levels, l - 1, w)];
+      const Word stolen = mem[dag_value_var(n, levels, l - 1, (w + 1) % n)];
+      const Word pav = mem[pa + (l - 1) * n + w];
+      const Word pbv = mem[pb + (l - 1) * n + w];
+      const Word sv = mem[sel + (l - 1) * n + w];
+      if (pav != own) return mismatch("dag own-lane copy", l * n + w, pav, own);
+      if (pbv != stolen)
+        return mismatch("dag stolen copy", l * n + w, pbv, stolen);
+      if (sv != (c != 0 ? pbv : pav))
+        return mismatch("dag selection", l * n + w, sv, c != 0 ? pbv : pav);
+      if (mem[dag_value_var(n, levels, l, w)] != sv + 1)
+        return mismatch("dag value", l * n + w,
+                        mem[dag_value_var(n, levels, l, w)], sv + 1);
+    }
+  return {};
+}
+
+}  // namespace
+
+const std::vector<WorkloadSpec>& workload_registry() {
+  static const std::vector<WorkloadSpec> kRegistry = {
+      {"luby", "Luby MIS round on the n-cycle", false, false, 3, false, false,
+       reg_make_luby, check_luby},
+      {"leader", "randomized leader election", false, false, 2, true, false,
+       reg_make_leader, check_leader},
+      {"ring", "randomized ring coloring", false, false, 3, false, false,
+       reg_make_ring, check_ring},
+      {"coins", "T steps of biased coins", false, false, 1, false, false,
+       reg_make_coins, check_coins},
+      {"probe", "consistency probe (E13)", false, false, 2, false, false,
+       reg_make_probe, check_probe},
+      {"prefix", "Hillis-Steele prefix sum", true, false, 2, true, false,
+       reg_make_prefix, check_prefix},
+      {"sort", "odd-even transposition sort", true, false, 2, false, true,
+       reg_make_sort, check_sort},
+      {"reduction", "tournament reduction", true, false, 2, true, false,
+       reg_make_reduction, check_reduction},
+      {"bfs", "BFS frontier expansion (irregular)", true, true, 6, false,
+       false, reg_make_bfs, check_bfs},
+      {"merge", "bitonic butterfly merge (irregular)", true, true, 2, true,
+       false, reg_make_merge, check_merge},
+      {"spmv", "CSR sparse mat-vec via gathers (irregular)", true, true, 2,
+       false, false, reg_make_spmv, check_spmv},
+      {"dag", "work-stealing-shaped DAG (irregular)", false, true, 2, false,
+       false, reg_make_dag, check_dag},
+  };
+  return kRegistry;
+}
+
+const WorkloadSpec* find_workload(const std::string& name) {
+  for (const auto& spec : workload_registry())
+    if (name == spec.name) return &spec;
+  return nullptr;
+}
+
+bool workload_supports_n(const WorkloadSpec& spec, std::size_t n) {
+  if (n < spec.min_n) return false;
+  if (spec.pow2_n && !is_pow2(n)) return false;
+  if (spec.even_n && n % 2 != 0) return false;
+  return true;
+}
+
+std::string workload_names() {
+  std::string out;
+  for (const auto& spec : workload_registry()) {
+    if (!out.empty()) out += ",";
+    out += spec.name;
+  }
+  return out;
 }
 
 }  // namespace apex::pram

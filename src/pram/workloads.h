@@ -8,11 +8,30 @@
 // consistency probe designed to expose the deterministic scheme's failure
 // mode on nondeterministic programs (bench E13).
 //
-// All programs obey the EREW discipline (validated at build()) and use only
-// static operand addressing.
+// Two families:
+//
+//   * the REGULAR kernels (reduction, prefix sum, sort, coin matrix, ring
+//     coloring, Luby, leader election, probe): lockstep dataflow, static
+//     operand addressing, the communication pattern is independent of the
+//     data;
+//   * the IRREGULAR kernels (BFS frontier expansion, bitonic merge, CSR
+//     sparse mat-vec, the work-stealing DAG): memory traffic and/or control
+//     flow depend on run-time values — predicated updates via kSelect,
+//     value-driven compare-exchange, computed-index gathers (kGather), and
+//     random dataflow choices.  These are the data-dependent programs the
+//     execution scheme is actually for.
+//
+// All programs obey the EREW discipline (validated at build()).
+//
+// Every canonical workload is also REGISTERED (workload_registry()) as a
+// ready-to-run instance with baked inputs and a final-memory verdict, which
+// is the single enumeration point for `apexcli exec`, the cross-executor
+// differential suite, the fuzzer's protocol pool, and the perfbench grid.
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "pram/program.h"
 
@@ -85,5 +104,100 @@ std::uint32_t sort_var(std::size_t n, std::size_t i);
 Program make_ring_coloring(std::size_t n, Word palette);
 std::uint32_t ring_color_var(std::size_t n, std::size_t i);
 std::uint32_t ring_conflict_var(std::size_t n, std::size_t i);
+
+// ---------------------------------------------------------------------------
+// Irregular / data-dependent kernels
+// ---------------------------------------------------------------------------
+
+/// BFS frontier expansion on a deterministic pseudo-random directed graph
+/// over n nodes (ring chords at offsets {1, n-1, 3, n-3}, each edge kept or
+/// dropped by a hash of (n, offset, node) — the masks live in program
+/// MEMORY, so which frontier bits propagate is decided by run-time values).
+/// `rounds` frontier waves from source 0; per round every node ORs its
+/// masked in-neighbour frontier bits, joins if unreached, and records its
+/// distance via predicated kSelect updates.  Deterministic.  Requires
+/// n >= 6.  dist[i] = BFS distance from node 0, or bfs_unreached(n) when
+/// node i is farther than `rounds` (or unreachable).
+Program make_bfs_frontier(std::size_t n, std::size_t rounds);
+std::size_t bfs_rounds(std::size_t n);        ///< Canonical round count.
+std::uint32_t bfs_dist_var(std::size_t n, std::size_t i);
+Word bfs_unreached(std::size_t n);            ///< Distance sentinel.
+/// The mask baked into the program for edge (i - offset[o]) -> i; o indexes
+/// the canonical offset list {1, n-1, 3, n-3}.  Exposed so checkers can
+/// rebuild the exact graph.
+bool bfs_edge_active(std::size_t n, std::size_t o, std::size_t i);
+
+/// Bitonic (butterfly) merge of a bitonic input: a[0..n/2) ascending,
+/// a[n/2..n) descending.  lg n butterfly stages of value-driven
+/// compare-exchange (partner i XOR d), each staged min/max + copy-back.
+/// Deterministic; n must be a power of two >= 2.  Result ascending in
+/// merge_var(n, 0..n).
+Program make_bitonic_merge(std::size_t n);
+std::uint32_t merge_var(std::size_t n, std::size_t i);
+
+/// Sparse matrix-vector product y = A*x in CSR form over a deterministic
+/// pseudo-random sparse matrix (irregular row degrees, hash-scattered
+/// column indices).  The column indices are loaded into program MEMORY and
+/// every x-gather is a computed-index kGather through them — genuine
+/// data-dependent addressing on every executor.  Deterministic.
+/// Requires n >= 2.
+Program make_spmv_csr(std::size_t n);
+std::uint32_t spmv_y_var(std::size_t n, std::size_t i);
+/// The CSR instance make_spmv_csr(n) bakes (checkers rebuild y from this).
+struct SpmvInstance {
+  std::vector<std::size_t> row_ptr;  ///< n+1 entries.
+  std::vector<std::size_t> col;      ///< nnz column indices.
+  std::vector<Word> val;             ///< nnz coefficients.
+  std::vector<Word> x;               ///< n input vector values.
+};
+SpmvInstance spmv_instance(std::size_t n);
+
+/// Work-stealing-shaped DAG: `levels` levels of n tasks; each task flips a
+/// coin to claim its work item either from its own lane or steal from the
+/// right neighbour's lane, then extends that chain (value + 1).  The
+/// DATAFLOW DAG is decided by run-time random draws.  Nondeterministic.
+/// Self-declared final-memory invariant (any valid execution): every coin
+/// is 0/1, both staged parent copies match the previous level, and each
+/// task value extends exactly the parent its coin selected —
+/// the consistency a deterministic scheme cannot guarantee.
+/// Requires n >= 2.
+Program make_steal_dag(std::size_t n, std::size_t levels);
+std::size_t steal_dag_levels(std::size_t n);  ///< Canonical level count.
+std::uint32_t dag_value_var(std::size_t n, std::size_t levels, std::size_t l,
+                            std::size_t w);
+std::uint32_t dag_coin_var(std::size_t n, std::size_t levels, std::size_t l,
+                           std::size_t w);
+
+// ---------------------------------------------------------------------------
+// Workload registry
+// ---------------------------------------------------------------------------
+
+/// One registered canonical workload: a ready-to-run factory (inputs baked
+/// into a constants prologue, parameters fixed to canonical values) plus a
+/// final-memory verdict.  `apexcli exec`, the cross-executor differential
+/// suite, the fuzzer's workload trials and the perfbench workload rows all
+/// enumerate this table — register new kernels here and every harness picks
+/// them up.
+struct WorkloadSpec {
+  const char* name;
+  const char* summary;
+  bool deterministic;  ///< Final memory must equal the synchronous reference.
+  bool irregular;      ///< Data-dependent control flow / addressing.
+  std::size_t min_n;   ///< Smallest supported thread count.
+  bool pow2_n;         ///< Thread count must be a power of two.
+  bool even_n;         ///< Thread count must be even.
+  Program (*make)(std::size_t n);
+  /// Empty string iff `mem` is a valid final memory of make(n) under SOME
+  /// valid execution: deterministic kernels recompute the expected answer
+  /// in plain C++ (independent of the interpreter), nondeterministic ones
+  /// check their self-declared invariants.
+  std::string (*check)(std::size_t n, const std::vector<Word>& mem);
+};
+
+const std::vector<WorkloadSpec>& workload_registry();
+const WorkloadSpec* find_workload(const std::string& name);
+bool workload_supports_n(const WorkloadSpec& spec, std::size_t n);
+/// Comma-separated registry names (CLI help/usage).
+std::string workload_names();
 
 }  // namespace apex::pram

@@ -184,6 +184,13 @@ TEST(Executor, GenerationsValidated) {
   cfg.generations = 1;
   EXPECT_THROW(Executor(p, Scheme::kNondeterministic, cfg),
                std::invalid_argument);
+  // G=2 would let an estimate-leading processor reuse a generation slot
+  // while the monitor's delayed commit audit still expects the old stamp.
+  cfg.generations = 2;
+  EXPECT_THROW(Executor(p, Scheme::kNondeterministic, cfg),
+               std::invalid_argument);
+  cfg.generations = 3;
+  EXPECT_NO_THROW(Executor(p, Scheme::kNondeterministic, cfg));
 }
 
 TEST(Executor, BudgetExhaustionReportsIncomplete) {

@@ -75,8 +75,9 @@ TEST(ExecutorWorkloads, SortMatchesReferenceAcrossSchedules) {
 TEST(ExecutorWorkloads, RingColoringFlagsConsistentUnderNondetScheme) {
   const std::size_t n = 8;
   pram::Program p = pram::make_ring_coloring(n, 4);
-  const auto chk = run_checked(p, Scheme::kNondeterministic,
-                               ExecConfig{.seed = 105});
+  ExecConfig ring_cfg;
+  ring_cfg.seed = 105;
+  const auto chk = run_checked(p, Scheme::kNondeterministic, ring_cfg);
   ASSERT_TRUE(chk.result.completed);
   EXPECT_EQ(chk.consistency_error, "");
   // The committed flags must match the committed colors — the property the
@@ -88,6 +89,57 @@ TEST(ExecutorWorkloads, RingColoringFlagsConsistentUnderNondetScheme) {
               ci == cn ? 1u : 0u)
         << "node " << i;
   }
+}
+
+TEST(ExecutorWorkloads, GatherResolvesRuntimeTargetsUnderHostileSchedules) {
+  // idx computed at run time selects the window cell; the executor must
+  // stamp-check the computed target like any static operand, under both
+  // schemes and hostile schedules.  Out-of-range branch included (idx 7).
+  pram::ProgramBuilder b(4, 16);
+  b.step()
+      .thread(0, pram::Instr::constant(0, 2))   // idx a
+      .thread(1, pram::Instr::constant(1, 7))   // idx b (out of range)
+      .thread(2, pram::Instr::constant(8, 30))  // window cells, written at
+      .thread(3, pram::Instr::constant(9, 31));  // run time
+  b.step()
+      .thread(0, pram::Instr::constant(10, 32))
+      .thread(1, pram::Instr::constant(11, 33));
+  b.step().thread(0, pram::Instr::gather(14, 0, 8, 4));   // -> v10 = 32
+  b.step().thread(1, pram::Instr::gather(15, 1, 8, 4));   // idx 7 -> 0
+  pram::Program p = b.build();
+  const auto ref = pram::Interpreter(p).run_deterministic({});
+  ASSERT_EQ(ref.memory[14], 32u);
+  ASSERT_EQ(ref.memory[15], 0u);
+  for (Scheme scheme : {Scheme::kNondeterministic, Scheme::kDeterministic}) {
+    for (auto kind : {sim::ScheduleKind::kUniformRandom,
+                      sim::ScheduleKind::kSleeper, sim::ScheduleKind::kBurst}) {
+      ExecConfig cfg;
+      cfg.seed = 301;
+      cfg.schedule = kind;
+      Executor ex(p, scheme, cfg);
+      const auto res = ex.run(Executor::default_budget(p));
+      ASSERT_TRUE(res.completed)
+          << scheme_name(scheme) << " " << sim::schedule_kind_name(kind);
+      EXPECT_EQ(res.memory[14], 32u)
+          << scheme_name(scheme) << " " << sim::schedule_kind_name(kind);
+      EXPECT_EQ(res.memory[15], 0u)
+          << scheme_name(scheme) << " " << sim::schedule_kind_name(kind);
+    }
+  }
+}
+
+TEST(ExecutorWorkloads, SpmvGatherKernelMatchesReferenceBitForBit) {
+  const std::size_t n = 8;
+  pram::Program p = pram::make_spmv_csr(n);
+  const auto ref = pram::Interpreter(p).run_deterministic({});
+  ExecConfig cfg;
+  cfg.seed = 107;
+  cfg.schedule = sim::ScheduleKind::kBurst;
+  Executor ex(p, Scheme::kNondeterministic, cfg);
+  const auto res = ex.run(Executor::default_budget(p));
+  ASSERT_TRUE(res.completed);
+  for (std::size_t v = 0; v < ref.memory.size(); ++v)
+    EXPECT_EQ(res.memory[v], ref.memory[v]) << "v" << v;
 }
 
 TEST(ExecutorWorkloads, PrefixSumSelfUpdateStepsSurviveHostileSchedule) {

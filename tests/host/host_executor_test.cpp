@@ -120,6 +120,60 @@ TEST(HostExecutor, GenerationsValidated) {
   EXPECT_THROW(HostExecutor(p, cfg), std::invalid_argument);
 }
 
+TEST(HostExecutor, PackWidthOverflowAbortsCleanlyInsteadOfCrashing) {
+  // A program value >= 2^40 exceeds the host Pack width.  Before the
+  // worker-side catch this threw std::out_of_range inside a std::thread —
+  // std::terminate, killing the whole process.  Now the run must abort
+  // cleanly: completed=false, the error surfaced, every thread joined.
+  pram::ProgramBuilder b(2, 4);
+  b.step()
+      .thread(0, pram::Instr::constant(0, Word{1} << 45))
+      .thread(1, pram::Instr::constant(1, 7));
+  b.step().thread(0, pram::Instr::add(2, 0, 1));
+  pram::Program p = b.build();
+  HostExecutor ex(p, make_cfg(31));
+  const auto res = ex.run();
+  EXPECT_FALSE(res.completed);
+  EXPECT_NE(res.error.find("40 bits"), std::string::npos) << res.error;
+}
+
+TEST(HostExecutor, ValuesJustBelowPackWidthSurvive) {
+  // 2^40 - 1 is the largest representable host value; it must round-trip
+  // through bins, generation slots, and the final extraction.
+  const Word big = (Word{1} << 40) - 1;
+  pram::ProgramBuilder b(2, 4);
+  b.step()
+      .thread(0, pram::Instr::constant(0, big))
+      .thread(1, pram::Instr::constant(1, 1));
+  b.step().thread(0, pram::Instr::min(2, 0, 1));
+  pram::Program p = b.build();
+  HostExecutor ex(p, make_cfg(32));
+  const auto res = ex.run();
+  ASSERT_TRUE(res.completed) << res.error;
+  EXPECT_EQ(res.memory[0], big);
+  EXPECT_EQ(res.memory[2], 1u);
+}
+
+TEST(HostExecutor, GatherResolvesComputedTargetsOnRealThreads) {
+  // Computed-index addressing through the host stamp discipline, including
+  // the out-of-range branch (defined result 0).
+  pram::ProgramBuilder b(2, 10);
+  b.step()
+      .thread(0, pram::Instr::constant(0, 2))    // idx in range
+      .thread(1, pram::Instr::constant(1, 99));  // idx out of range
+  b.step()
+      .thread(0, pram::Instr::constant(4, 20))   // window [4, 8)
+      .thread(1, pram::Instr::constant(6, 22));
+  b.step().thread(0, pram::Instr::gather(8, 0, 4, 4));  // -> v6 = 22
+  b.step().thread(1, pram::Instr::gather(9, 1, 4, 4));  // -> 0
+  pram::Program p = b.build();
+  HostExecutor ex(p, make_cfg(33));
+  const auto res = ex.run();
+  ASSERT_TRUE(res.completed) << res.error;
+  EXPECT_EQ(res.memory[8], 22u);
+  EXPECT_EQ(res.memory[9], 0u);
+}
+
 TEST(HostExecutor, OversubscribedStillCompletes) {
   // 8 threads on however few cores this machine has.
   const std::size_t n = 8;

@@ -165,5 +165,124 @@ TEST(ConsistencyOracle, RejectsFinalMemoryMismatch) {
   EXPECT_NE(err.find("final memory mismatch"), std::string::npos) << err;
 }
 
+// ---------------------------------------------------------------------------
+// Data-dependent addressing (kGather) edge cases
+// ---------------------------------------------------------------------------
+
+TEST(Gather, ReadsTheComputedCell) {
+  // table[0..4) at vars 1..5, index in var 0, result in var 5.
+  ProgramBuilder b(1, 6);
+  b.step().thread(0, Instr::gather(5, 0, 1, 4));
+  Program p = b.build();
+  const auto r = Interpreter(p).run_deterministic({2, 10, 11, 12, 13, 0});
+  EXPECT_EQ(r.memory[5], 12u);  // table[2]
+}
+
+TEST(Gather, OutOfRangeComputedIndexYieldsZeroNotAFault) {
+  // The index variable holds values >= the window length, including values
+  // that would overflow a size_t subscript if added to the base naively.
+  ProgramBuilder b(1, 6);
+  b.step().thread(0, Instr::gather(5, 0, 1, 4));
+  Program p = b.build();
+  for (const Word idx :
+       {Word{4}, Word{5}, Word{1} << 32, ~Word{0}, ~Word{0} - 3}) {
+    const auto r = Interpreter(p).run_deterministic({idx, 10, 11, 12, 13, 7});
+    EXPECT_EQ(r.memory[5], 0u) << "index " << idx;
+  }
+}
+
+TEST(Gather, ReadsThePreStepImageWhenWindowIsWrittenSameStep) {
+  // Thread 1 overwrites table[1] in the same step thread 0 gathers from it:
+  // split execution orders the read first, so the OLD value is gathered.
+  ProgramBuilder b(2, 6);
+  b.step()
+      .thread(0, Instr::gather(5, 0, 1, 4))
+      .thread(1, Instr::constant(2, 99));
+  Program p = b.build();
+  const auto r = Interpreter(p).run_deterministic({1, 10, 11, 12, 13, 0});
+  EXPECT_EQ(r.memory[5], 11u);
+  EXPECT_EQ(r.memory[2], 99u);
+}
+
+TEST(Gather, IndexComputedAtRuntimeFeedsTheGather) {
+  // idx = a + b computed in step 0; gather uses it in step 1.
+  ProgramBuilder b(1, 8);
+  b.step().thread(0, Instr::add(2, 0, 1));
+  b.step().thread(0, Instr::gather(7, 2, 3, 4));
+  Program p = b.build();
+  const auto r =
+      Interpreter(p).run_deterministic({1, 2, 0, 20, 21, 22, 23, 0});
+  EXPECT_EQ(r.memory[7], 23u);  // window[3]
+}
+
+TEST(Gather, ErewValidationMarksTheWholeWindowRead) {
+  // Another thread reading any window cell in the same step is a violation.
+  {
+    ProgramBuilder b(2, 6);
+    b.step()
+        .thread(0, Instr::gather(5, 0, 1, 4))
+        .thread(1, Instr::copy(4, 2));  // reads v2, inside [1, 5)
+    EXPECT_THROW(b.build(), std::invalid_argument);
+  }
+  // Two gathers with overlapping windows likewise.
+  {
+    ProgramBuilder b(2, 8);
+    b.step()
+        .thread(0, Instr::gather(6, 0, 1, 4))
+        .thread(1, Instr::gather(7, 5, 2, 3));
+    EXPECT_THROW(b.build(), std::invalid_argument);
+  }
+  // Disjoint windows are fine.
+  {
+    ProgramBuilder b(2, 9);
+    b.step()
+        .thread(0, Instr::gather(7, 0, 1, 3))
+        .thread(1, Instr::gather(8, 5, 4, 1));
+    EXPECT_NO_THROW(b.build());
+  }
+}
+
+TEST(Gather, WindowMustFitInsideVariableSpace) {
+  {
+    ProgramBuilder b(1, 6);
+    b.step().thread(0, Instr::gather(5, 0, 3, 4));  // [3, 7) > nvars=6
+    EXPECT_THROW(b.build(), std::invalid_argument);
+  }
+  {
+    ProgramBuilder b(1, 6);
+    b.step().thread(0, Instr::gather(5, 0, 1, 0));  // empty window
+    EXPECT_THROW(b.build(), std::invalid_argument);
+  }
+}
+
+TEST(Gather, ConsistencyOracleResolvesGathersAgainstTheReplayImage) {
+  ProgramBuilder b(1, 6);
+  b.step().thread(0, Instr::gather(5, 0, 1, 4));
+  Program p = b.build();
+  auto r = Interpreter(p).run_deterministic({2, 10, 11, 12, 13, 0});
+  EXPECT_EQ(check_execution_consistency(p, {2, 10, 11, 12, 13, 0},
+                                        r.produced, r.memory),
+            "");
+  // A forged gather result must be rejected.
+  r.produced[0][0] = 99;
+  r.memory[5] = 99;
+  EXPECT_NE(check_execution_consistency(p, {2, 10, 11, 12, 13, 0},
+                                        r.produced, r.memory),
+            "");
+}
+
+TEST(Gather, WriterTableResolvesRuntimeTargets) {
+  // The gather target was written two steps earlier; last_writer_before
+  // must answer for every window cell so executors can stamp-check.
+  ProgramBuilder b(2, 8);
+  b.step().thread(0, Instr::constant(3, 42)).thread(1, Instr::constant(0, 2));
+  b.step().thread(0, Instr::gather(7, 0, 1, 4));
+  Program p = b.build();
+  EXPECT_EQ(p.last_writer_before(1, 3), 0u);   // window cell written step 0
+  EXPECT_EQ(p.last_writer_before(1, 2), kInitial);
+  const auto r = Interpreter(p).run_deterministic({0, 0, 7, 0, 0, 0, 0, 0});
+  EXPECT_EQ(r.memory[7], 42u);  // idx=2 -> window[2] = v3 = 42
+}
+
 }  // namespace
 }  // namespace apex::pram

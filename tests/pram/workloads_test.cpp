@@ -147,6 +147,188 @@ TEST(RingColoring, LargePaletteRarelyConflicts) {
 }
 
 // ---------------------------------------------------------------------------
+// BFS frontier expansion (irregular)
+// ---------------------------------------------------------------------------
+
+class BfsSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BfsSweep, MatchesReferenceBfsOnTheBakedGraph) {
+  const std::size_t n = GetParam();
+  Program p = make_bfs_frontier(n, bfs_rounds(n));
+  EXPECT_FALSE(p.is_nondeterministic());
+  const auto r = Interpreter(p).run_deterministic({});
+  // The registry checker rebuilds the graph and runs plain BFS — the
+  // interpreter result must satisfy it exactly.
+  const auto* spec = find_workload("bfs");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->check(n, r.memory), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BfsSweep,
+                         ::testing::Values<std::size_t>(6, 8, 12, 16, 32));
+
+TEST(Bfs, SourceHasDistanceZeroAndSomeNodeIsFarther) {
+  const std::size_t n = 16;
+  Program p = make_bfs_frontier(n, bfs_rounds(n));
+  const auto r = Interpreter(p).run_deterministic({});
+  EXPECT_EQ(r.memory[bfs_dist_var(n, 0)], 0u);
+  // Masked edges make distances irregular: at least one node must sit at
+  // distance >= 2 (the graph is not the complete graph).
+  Word maxd = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (r.memory[bfs_dist_var(n, i)] != bfs_unreached(n))
+      maxd = std::max(maxd, r.memory[bfs_dist_var(n, i)]);
+  EXPECT_GE(maxd, 2u);
+}
+
+TEST(Bfs, RejectsTinySizes) {
+  EXPECT_THROW(make_bfs_frontier(4, 2), std::invalid_argument);
+  EXPECT_THROW(make_bfs_frontier(8, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Bitonic butterfly merge (irregular)
+// ---------------------------------------------------------------------------
+
+class MergeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MergeSweep, MergesEveryBitonicPattern) {
+  const std::size_t n = GetParam();
+  Program p = make_bitonic_merge(n);
+  // Several ascending/descending splits, including degenerate halves.
+  for (std::size_t split = 0; split <= 2; ++split) {
+    std::vector<Word> in(n);
+    for (std::size_t i = 0; i < n; ++i)
+      in[i] = i < n / 2 ? static_cast<Word>(split + 2 * i)
+                        : static_cast<Word>(split + 2 * (n - i) + 1);
+    std::vector<Word> init(p.nvars(), 0);
+    std::copy(in.begin(), in.end(), init.begin());
+    const auto r = Interpreter(p).run_deterministic(init);
+    std::vector<Word> want = in;
+    std::sort(want.begin(), want.end());
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(r.memory[merge_var(n, i)], want[i])
+          << "n=" << n << " split=" << split << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MergeSweep,
+                         ::testing::Values<std::size_t>(2, 4, 8, 16, 64));
+
+TEST(Merge, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(make_bitonic_merge(6), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// CSR sparse mat-vec (irregular, computed-index gathers)
+// ---------------------------------------------------------------------------
+
+class SpmvSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpmvSweep, MatchesDenseRecomputation) {
+  const std::size_t n = GetParam();
+  Program p = make_spmv_csr(n);
+  EXPECT_FALSE(p.is_nondeterministic());
+  const auto r = Interpreter(p).run_deterministic({});
+  const SpmvInstance m = spmv_instance(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Word want = 0;
+    for (std::size_t e = m.row_ptr[i]; e < m.row_ptr[i + 1]; ++e)
+      want += m.val[e] * m.x[m.col[e]];
+    EXPECT_EQ(r.memory[spmv_y_var(n, i)], want) << "n=" << n << " row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpmvSweep,
+                         ::testing::Values<std::size_t>(2, 4, 8, 16, 24));
+
+TEST(Spmv, InstanceIsIrregular) {
+  // Row degrees must actually vary (otherwise the kernel is regular).
+  const SpmvInstance m = spmv_instance(16);
+  std::size_t mind = 100, maxd = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::size_t d = m.row_ptr[i + 1] - m.row_ptr[i];
+    mind = std::min(mind, d);
+    maxd = std::max(maxd, d);
+  }
+  EXPECT_LT(mind, maxd);
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing DAG (irregular, nondeterministic)
+// ---------------------------------------------------------------------------
+
+TEST(StealDag, InvariantHoldsOnEveryExecution) {
+  const std::size_t n = 8;
+  Program p = make_steal_dag(n, steal_dag_levels(n));
+  EXPECT_TRUE(p.is_nondeterministic());
+  const auto* spec = find_workload("dag");
+  ASSERT_NE(spec, nullptr);
+  Interpreter it(p);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto r = it.run({}, apex::Rng(seed));
+    EXPECT_EQ(spec->check(n, r.memory), "") << "seed=" << seed;
+  }
+}
+
+TEST(StealDag, CoinsActuallyVary) {
+  // Across seeds both victim choices must occur, or the kernel is regular.
+  const std::size_t n = 4, levels = steal_dag_levels(n);
+  Program p = make_steal_dag(n, levels);
+  Interpreter it(p);
+  bool saw0 = false, saw1 = false;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto r = it.run({}, apex::Rng(seed));
+    for (std::size_t l = 1; l <= levels; ++l)
+      for (std::size_t w = 0; w < n; ++w) {
+        saw0 |= r.memory[dag_coin_var(n, levels, l, w)] == 0;
+        saw1 |= r.memory[dag_coin_var(n, levels, l, w)] == 1;
+      }
+  }
+  EXPECT_TRUE(saw0);
+  EXPECT_TRUE(saw1);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, EveryEntryBuildsAndPassesItsOwnCheckOnTheReference) {
+  for (const auto& spec : workload_registry()) {
+    const std::size_t n = 8;  // satisfies every registered constraint
+    ASSERT_TRUE(workload_supports_n(spec, n)) << spec.name;
+    Program p = spec.make(n);
+    EXPECT_EQ(p.is_nondeterministic(), !spec.deterministic) << spec.name;
+    // Reference execution(s) must satisfy the final-memory verdict.
+    for (std::uint64_t seed = 1; seed <= (spec.deterministic ? 1u : 5u);
+         ++seed) {
+      const auto r = Interpreter(p).run({}, apex::Rng(seed));
+      EXPECT_EQ(spec.check(n, r.memory), "")
+          << spec.name << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Registry, LookupAndConstraints) {
+  EXPECT_NE(find_workload("spmv"), nullptr);
+  EXPECT_EQ(find_workload("nope"), nullptr);
+  const auto* leader = find_workload("leader");
+  ASSERT_NE(leader, nullptr);
+  EXPECT_FALSE(workload_supports_n(*leader, 6));  // not a power of two
+  EXPECT_TRUE(workload_supports_n(*leader, 8));
+  const auto* bfs = find_workload("bfs");
+  ASSERT_NE(bfs, nullptr);
+  EXPECT_FALSE(workload_supports_n(*bfs, 4));
+  EXPECT_NE(workload_names().find("dag"), std::string::npos);
+}
+
+TEST(Registry, IrregularSuiteIsRegistered) {
+  std::size_t irregular = 0;
+  for (const auto& spec : workload_registry()) irregular += spec.irregular;
+  EXPECT_GE(irregular, 4u);
+}
+
+// ---------------------------------------------------------------------------
 // Cross-workload sanity
 // ---------------------------------------------------------------------------
 
@@ -154,6 +336,9 @@ TEST(Workloads, DeterministicKernelsAreDeterministic) {
   EXPECT_FALSE(make_prefix_sum(8).is_nondeterministic());
   EXPECT_FALSE(make_odd_even_sort(8).is_nondeterministic());
   EXPECT_FALSE(make_reduction(8).is_nondeterministic());
+  EXPECT_FALSE(make_bfs_frontier(8, 3).is_nondeterministic());
+  EXPECT_FALSE(make_bitonic_merge(8).is_nondeterministic());
+  EXPECT_FALSE(make_spmv_csr(8).is_nondeterministic());
 }
 
 TEST(Workloads, NondetKernelsAreNondeterministic) {
@@ -161,6 +346,7 @@ TEST(Workloads, NondetKernelsAreNondeterministic) {
   EXPECT_TRUE(make_luby_cycle_round(8, 100).is_nondeterministic());
   EXPECT_TRUE(make_leader_election(8, 100).is_nondeterministic());
   EXPECT_TRUE(make_coin_matrix(4, 2, 0.5).is_nondeterministic());
+  EXPECT_TRUE(make_steal_dag(8, 2).is_nondeterministic());
 }
 
 }  // namespace

@@ -7,9 +7,11 @@
 //       per-property status, and a bin heatmap.
 //
 //   apexcli exec   [--workload=luby] [--n=8] [--scheme=nondet] [--sched=...]
-//       run a canonical PRAM workload through the execution scheme and
-//       verify its invariants.  Workloads: luby, leader, ring, coins,
-//       probe, prefix, sort, reduction.
+//                  [--engine=batched|single_step]
+//       run any REGISTERED PRAM workload (pram::workload_registry(): the
+//       regular kernels plus the irregular suite — bfs, merge, spmv, dag)
+//       through the execution scheme and verify its final-memory
+//       invariants.
 //
 //   apexcli host   [--threads=4] [--seed=1]
 //       run bin-array agreement on real std::threads.
@@ -35,10 +37,12 @@
 //       simulator-core microbenchmark: steps/second over the
 //       (schedule kind x nprocs x observer on/off x grant engine) grid.
 //       `single_step` rows measure the pre-batching reference engine, so
-//       the batched/single_step ratio is the engine speedup; results are
-//       printed as a table and dumped to a JSON file that CI archives as
-//       the repo's perf trajectory (soft-gated against the committed
-//       baseline).
+//       the batched/single_step ratio is the engine speedup.  A second
+//       grid runs registered PRAM workloads through the full execution
+//       scheme (regular vs irregular kernels), so data-dependent
+//       throughput is on the trajectory too.  Results are printed as
+//       tables and dumped to a JSON file that CI archives as the repo's
+//       perf trajectory (soft-gated against the committed baseline).
 //
 //   apexcli sched
 //       list the adversary schedule family.
@@ -141,9 +145,47 @@ int cmd_agree(const Args& a) {
   return res.satisfied && st.all() ? 0 : 1;
 }
 
-int check_workload(const std::string& wl, std::size_t n,
-                   const exec::CheckedRun& chk) {
-  using namespace pram;
+int cmd_exec(const Args& a) {
+  const std::string wl = a.str("workload", "luby");
+  const pram::WorkloadSpec* spec = pram::find_workload(wl);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s'; have: %s\n", wl.c_str(),
+                 pram::workload_names().c_str());
+    return 2;
+  }
+  const std::size_t n = a.u64("n", 8);
+  if (!pram::workload_supports_n(*spec, n)) {
+    std::fprintf(stderr,
+                 "workload '%s' does not support n=%zu (min_n=%zu%s%s)\n",
+                 wl.c_str(), n, spec->min_n,
+                 spec->pow2_n ? ", power of two" : "",
+                 spec->even_n ? ", even" : "");
+    return 2;
+  }
+  exec::ExecConfig cfg;
+  cfg.seed = a.u64("seed", 1);
+  cfg.schedule = parse_sched(a.str("sched", "uniform"));
+  cfg.engine = a.str("engine", "batched") == std::string("single_step")
+                   ? sim::GrantEngine::kSingleStep
+                   : sim::GrantEngine::kBatched;
+  const exec::Scheme scheme =
+      a.str("scheme", "nondet") == std::string("det")
+          ? exec::Scheme::kDeterministic
+          : exec::Scheme::kNondeterministic;
+
+  const pram::Program p = spec->make(n);
+  const auto chk = exec::run_checked(p, scheme, cfg);
+  std::printf("exec: workload=%s (%s%s) n=%zu steps=%zu scheme=%s sched=%s\n",
+              wl.c_str(), spec->deterministic ? "det" : "nondet",
+              spec->irregular ? ", irregular" : "", n, p.nsteps(),
+              exec::scheme_name(scheme),
+              sim::schedule_kind_name(cfg.schedule));
+  std::printf("  completed=%s work=%llu incomplete_tasks=%llu "
+              "stamp_misses=%llu\n",
+              chk.result.completed ? "yes" : "NO",
+              static_cast<unsigned long long>(chk.result.total_work),
+              static_cast<unsigned long long>(chk.result.incomplete_tasks),
+              static_cast<unsigned long long>(chk.result.stamp_misses));
   if (!chk.result.completed) {
     std::printf("  did not complete within budget\n");
     return 1;
@@ -152,98 +194,13 @@ int check_workload(const std::string& wl, std::size_t n,
     std::printf("  INCONSISTENT: %s\n", chk.consistency_error.c_str());
     return 1;
   }
-  int bad = 0;
-  if (wl == "luby") {
-    for (std::size_t i = 0; i < n; ++i)
-      bad += chk.result.memory[luby_violation_var(n, i)] != 0;
-    std::printf("  MIS independence violations: %d\n", bad);
-  } else if (wl == "leader") {
-    std::size_t leaders = 0;
-    for (std::size_t i = 0; i < n; ++i)
-      leaders += chk.result.memory[leader_flag_var(n, i)];
-    std::printf("  leaders elected: %zu\n", leaders);
-    bad += leaders < 1;
-  } else if (wl == "ring") {
-    for (std::size_t i = 0; i < n; ++i) {
-      const Word ci = chk.result.memory[ring_color_var(n, i)];
-      const Word cn = chk.result.memory[ring_color_var(n, (i + 1) % n)];
-      bad += chk.result.memory[ring_conflict_var(n, i)] != (ci == cn ? 1u : 0u);
-    }
-    std::printf("  conflict-flag mismatches: %d\n", bad);
-  } else if (wl == "probe") {
-    for (std::size_t j = 0; j < probe_flag_count(8); ++j)
-      bad += chk.result.memory[probe_flag_var(n, 8, j)] != 1;
-    std::printf("  probe flag violations: %d\n", bad);
-  } else if (wl == "prefix") {
-    Word run = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      run += static_cast<Word>(i + 1);
-      bad += chk.result.memory[prefix_sum_var(n, i)] != run;
-    }
-    std::printf("  prefix-sum mismatches: %d\n", bad);
-  } else if (wl == "sort") {
-    for (std::size_t i = 0; i + 1 < n; ++i)
-      bad += chk.result.memory[sort_var(n, i)] >
-             chk.result.memory[sort_var(n, i + 1)];
-    std::printf("  sortedness violations: %d\n", bad);
+  const std::string verdict = spec->check(n, chk.result.memory);
+  if (!verdict.empty()) {
+    std::printf("  INVARIANT VIOLATION: %s\n", verdict.c_str());
+    return 1;
   }
-  return bad == 0 ? 0 : 1;
-}
-
-int cmd_exec(const Args& a) {
-  const std::string wl = a.str("workload", "luby");
-  const std::size_t n = a.u64("n", 8);
-  exec::ExecConfig cfg;
-  cfg.seed = a.u64("seed", 1);
-  cfg.schedule = parse_sched(a.str("sched", "uniform"));
-  const exec::Scheme scheme =
-      a.str("scheme", "nondet") == std::string("det")
-          ? exec::Scheme::kDeterministic
-          : exec::Scheme::kNondeterministic;
-
-  // Seeded-input helper for the deterministic kernels.
-  auto with_inputs = [&](const pram::Program& p, std::vector<pram::Word> in) {
-    pram::ProgramBuilder b(p.nthreads(), p.nvars());
-    b.step().all([&](std::size_t i) {
-      return i < in.size()
-                 ? pram::Instr::constant(static_cast<std::uint32_t>(i), in[i])
-                 : pram::Instr::nop();
-    });
-    for (std::size_t s = 0; s < p.nsteps(); ++s) {
-      auto sb = b.step();
-      for (std::size_t t = 0; t < p.nthreads(); ++t)
-        sb.thread(t, p.step(s).instrs[t]);
-    }
-    return b.build();
-  };
-
-  pram::Program p = [&]() -> pram::Program {
-    std::vector<pram::Word> iota(n);
-    std::iota(iota.begin(), iota.end(), 1);
-    std::vector<pram::Word> rev(iota.rbegin(), iota.rend());
-    if (wl == "luby") return pram::make_luby_cycle_round(n, 1 << 16);
-    if (wl == "leader") return pram::make_leader_election(n, 1 << 16);
-    if (wl == "ring") return pram::make_ring_coloring(n, 4);
-    if (wl == "coins") return pram::make_coin_matrix(n, 4, 0.5);
-    if (wl == "probe") return pram::make_consistency_probe(n, 8, 1 << 20);
-    if (wl == "prefix") return with_inputs(pram::make_prefix_sum(n), iota);
-    if (wl == "sort") return with_inputs(pram::make_odd_even_sort(n), rev);
-    if (wl == "reduction") return with_inputs(pram::make_reduction(n), iota);
-    std::fprintf(stderr, "unknown workload '%s'\n", wl.c_str());
-    std::exit(2);
-  }();
-
-  const auto chk = exec::run_checked(p, scheme, cfg);
-  std::printf("exec: workload=%s n=%zu steps=%zu scheme=%s sched=%s\n",
-              wl.c_str(), n, p.nsteps(), exec::scheme_name(scheme),
-              sim::schedule_kind_name(cfg.schedule));
-  std::printf("  completed=%s work=%llu incomplete_tasks=%llu "
-              "stamp_misses=%llu\n",
-              chk.result.completed ? "yes" : "NO",
-              static_cast<unsigned long long>(chk.result.total_work),
-              static_cast<unsigned long long>(chk.result.incomplete_tasks),
-              static_cast<unsigned long long>(chk.result.stamp_misses));
-  return check_workload(wl, n, chk);
+  std::printf("  invariants: ok\n");
+  return 0;
 }
 
 int cmd_host(const Args& a) {
@@ -433,6 +390,45 @@ PerfRow run_perf_config(sim::ScheduleKind kind, std::size_t n, bool observer,
   return r;
 }
 
+/// End-to-end workload throughput: run a registered PRAM workload through
+/// the full execution scheme (nondeterministic, batched engine) and report
+/// simulator work units per second.  The regular rows (prefix) anchor the
+/// comparison; the irregular rows (bfs/merge/spmv/dag) put data-dependent
+/// control flow and computed-index gathers on the measured trajectory.
+struct WorkloadPerfRow {
+  const char* workload;
+  std::size_t n;
+  bool completed;
+  bool ok;             ///< Invariants held on the final memory.
+  std::uint64_t work;
+  double seconds;
+  double work_per_sec;
+};
+
+WorkloadPerfRow run_workload_perf(const char* name, std::size_t n, int reps) {
+  const pram::WorkloadSpec* spec = pram::find_workload(name);
+  const pram::Program p = spec->make(n);
+  WorkloadPerfRow r{name, n, true, true, 0, 0.0, 0.0};
+  for (int rep = 0; rep < reps; ++rep) {
+    exec::ExecConfig cfg;
+    cfg.seed = 1 + static_cast<std::uint64_t>(rep);
+    exec::Executor ex(p, exec::Scheme::kNondeterministic, cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = ex.run(exec::Executor::default_budget(p));
+    const auto t1 = std::chrono::steady_clock::now();
+    const double d = std::chrono::duration<double>(t1 - t0).count();
+    r.completed &= res.completed;
+    r.ok &= res.completed && spec->check(n, res.memory).empty();
+    if (rep == 0 || d < r.seconds) {
+      r.seconds = d;
+      r.work = res.total_work;
+    }
+  }
+  r.work_per_sec =
+      r.seconds > 0 ? static_cast<double>(r.work) / r.seconds : 0.0;
+  return r;
+}
+
 int cmd_perfbench(const Args& a) {
   const bool quick = a.kv.count("quick") != 0;
   const std::uint64_t steps =
@@ -458,6 +454,19 @@ int cmd_perfbench(const Args& a) {
           rows.push_back(
               run_perf_config(kind, n, observer, engine, steps, reps));
 
+  // Workload rows: full-scheme throughput, regular vs irregular kernels.
+  // Quick mode keeps one regular anchor plus one irregular (gather-heavy)
+  // config so the CI perf smoke tracks data-dependent throughput too.
+  std::vector<std::pair<const char*, std::size_t>> wl_grid = {
+      {"prefix", 8}, {"spmv", 8}};
+  if (!quick)
+    wl_grid = {{"prefix", 8},  {"prefix", 16}, {"bfs", 8},  {"bfs", 16},
+               {"merge", 8},   {"merge", 16},  {"spmv", 8}, {"spmv", 16},
+               {"dag", 8},     {"dag", 16}};
+  std::vector<WorkloadPerfRow> wl_rows;
+  for (const auto& [name, n] : wl_grid)
+    wl_rows.push_back(run_workload_perf(name, n, reps));
+
   Table t({"sched", "n", "observer", "engine", "steps", "sec", "steps/sec"});
   for (const auto& r : rows)
     t.row()
@@ -468,8 +477,25 @@ int cmd_perfbench(const Args& a) {
         .cell(r.steps)
         .cell(r.seconds, 3)
         .cell(r.steps_per_sec, 0);
-  if (a.kv.count("csv")) t.print_csv(std::cout);
-  else t.print(std::cout);
+  Table wt({"workload", "n", "completed", "invariants", "work", "sec",
+            "work/sec"});
+  for (const auto& r : wl_rows)
+    wt.row()
+        .cell(r.workload)
+        .cell(static_cast<std::uint64_t>(r.n))
+        .cell(r.completed ? "yes" : "NO")
+        .cell(r.ok ? "ok" : "VIOLATED")
+        .cell(r.work)
+        .cell(r.seconds, 3)
+        .cell(r.work_per_sec, 0);
+  if (a.kv.count("csv")) {
+    t.print_csv(std::cout);
+    wt.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+    std::printf("\nworkload throughput (full scheme, nondet, batched):\n");
+    wt.print(std::cout);
+  }
 
   // Engine speedup on the headline configuration (round_robin, observer
   // off): min over n, so the claim holds at every measured size.  NOTE:
@@ -552,8 +578,20 @@ int cmd_perfbench(const Args& a) {
         << ", \"steps_per_sec\": " << buf << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
+  out << "  ],\n";
+  out << "  \"workload_rows\": [\n";
+  for (std::size_t i = 0; i < wl_rows.size(); ++i) {
+    const auto& r = wl_rows[i];
+    std::snprintf(buf, sizeof buf, "%.1f", r.work_per_sec);
+    out << "    {\"workload\": \"" << r.workload << "\", \"n\": " << r.n
+        << ", \"completed\": " << (r.completed ? "true" : "false")
+        << ", \"invariants_ok\": " << (r.ok ? "true" : "false")
+        << ", \"work\": " << r.work << ", \"work_per_sec\": " << buf << "}"
+        << (i + 1 < wl_rows.size() ? "," : "") << "\n";
+  }
   out << "  ]\n}\n";
-  std::printf("wrote %s (%zu configs)\n", out_path.c_str(), rows.size());
+  std::printf("wrote %s (%zu core + %zu workload configs)\n", out_path.c_str(),
+              rows.size(), wl_rows.size());
   return 0;
 }
 
@@ -616,12 +654,14 @@ int cmd_fuzz(const Args& a) {
   cfg.repro_dir = a.str("repro-dir", "");
 
   const auto rep = check::run_fuzz(cfg);
-  std::printf("fuzz: %zu trials (agreement+consensus x fuzzed oblivious "
-              "schedules), seed=%llu\n",
+  std::printf("fuzz: %zu trials (agreement+consensus+workload x fuzzed "
+              "oblivious schedules), seed=%llu\n",
               rep.trials, static_cast<unsigned long long>(cfg.seed));
   for (const auto& f : rep.failures) {
-    std::printf("FAILURE trial=%zu protocol=%s n=%zu seed=%llu oracle=%s\n",
-                f.trial, check::fuzz_protocol_name(f.protocol), f.n,
+    std::printf("FAILURE trial=%zu protocol=%s%s%s n=%zu seed=%llu oracle=%s\n",
+                f.trial, check::fuzz_protocol_name(f.protocol),
+                f.workload.empty() ? "" : " workload=",
+                f.workload.c_str(), f.n,
                 static_cast<unsigned long long>(f.seed), f.oracle.c_str());
     std::printf("  %s\n", f.message.c_str());
     if (!f.schedule.empty())
@@ -653,14 +693,16 @@ int main(int argc, char** argv) {
       "usage: apexcli <agree|exec|host|sweep|fuzz|perfbench|sched> "
       "[--key=value ...]\n"
       "  agree --n=64 --sched=uniform --seed=1 --beta=8\n"
-      "  exec  --workload=luby|leader|ring|coins|probe|prefix|sort|reduction\n"
-      "        --n=8 --scheme=nondet|det --sched=uniform --seed=1\n"
+      "  exec  --workload=NAME --n=8 --scheme=nondet|det --sched=uniform\n"
+      "        --seed=1 --engine=batched|single_step\n"
+      "        (workloads: %s)\n"
       "  host  --threads=4 --seed=1\n"
       "  sweep --n=16,32,64 --sched=uniform,burst --seeds=3 --jobs=1 --beta=8\n"
       "        [--csv]\n"
       "  fuzz  --trials=500 --jobs=1 --seed=1 [--no-shrink]\n"
       "        [--repro-dir=DIR] [--replay=FILE] [--selftest]\n"
       "  perfbench [--quick] [--steps=N] [--out=BENCH_core.json] [--csv]\n"
-      "  sched\n");
+      "  sched\n",
+      pram::workload_names().c_str());
   return a.cmd.empty() ? 0 : 2;
 }
