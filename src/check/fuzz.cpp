@@ -343,6 +343,15 @@ TrialSpec make_trial_spec(const FuzzConfig& cfg, std::size_t i) {
     const auto& pool = fuzz_workload_pool();
     ts.workload = pool[rng.below(pool.size())];
     ts.n = ts.workload == std::string("merge") ? 8 : (rng.below(2) ? 6 : 8);
+    if (i % 64 == 19) {
+      // Rare LARGE-n trial: a registry scale_ns instance through the
+      // simulated scheme (n = 64 costs ~1-2 s with oracles attached, so
+      // one trial in 64 keeps the soak budget).  spmv is the gather-heavy
+      // pick — the computed-index path is where large n stresses the
+      // writer-table discipline hardest.
+      ts.workload = "spmv";
+      ts.n = 64;
+    }
     const pram::WorkloadSpec* wl = pram::find_workload(ts.workload);
     ts.budget = exec::Executor::default_budget(wl->make(ts.n));
   } else {

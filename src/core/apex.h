@@ -40,6 +40,7 @@
 #include "core/version.h"             // IWYU pragma: export
 #include "exec/executor.h"            // IWYU pragma: export
 #include "host/host_agreement.h"      // IWYU pragma: export
+#include "host/host_executor.h"       // IWYU pragma: export
 #include "host/host_memory.h"         // IWYU pragma: export
 #include "pram/interp.h"              // IWYU pragma: export
 #include "pram/ir.h"                  // IWYU pragma: export

@@ -10,6 +10,13 @@
 // Work accounting: each thread counts its own atomic accesses (reads +
 // writes + charged locals) in a plain per-thread counter; the total is the
 // paper's work measure, summed at the end.
+//
+// Memory order: this port deliberately stays on HostMemory's seq_cst
+// defaults.  Its whole observation method is an OUT-OF-BAND poller scanning
+// bins while the threads run, and seq_cst is what keeps that scan's
+// cross-word view trivially sound.  The virtualized executor
+// (host_executor), which audits only at quiescence, is where the
+// relaxed/acq-rel downgrades live — see the proof obligations there.
 #pragma once
 
 #include <cstdint>

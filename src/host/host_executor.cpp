@@ -1,17 +1,50 @@
 #include "host/host_executor.h"
 
 #include <chrono>
-#include <optional>
+#include <limits>
+#include <numeric>
 #include <thread>
 
 #include "pram/ir.h"
 
 namespace apex::host {
 
+namespace {
+
+/// Domain-separation tag for the kRandom interleave policy's thread-private
+/// streams.  Derived from the config seed only — the policy never reads
+/// protocol state, so it stays an oblivious adversary by construction.
+constexpr std::uint64_t kInterleaveTag = 0x17E21EAFULL;
+
+std::size_t clamp_threads(std::size_t os_threads, std::size_t nprocs) {
+  if (os_threads == 0) return nprocs;          // legacy: one thread per proc
+  return std::min(std::max<std::size_t>(1, os_threads), nprocs);
+}
+
+}  // namespace
+
+const char* interleave_name(Interleave p) noexcept {
+  switch (p) {
+    case Interleave::kRoundRobin: return "rr";
+    case Interleave::kRandom: return "random";
+    case Interleave::kBlock: return "block";
+  }
+  return "?";
+}
+
+bool parse_interleave(const std::string& s, Interleave& out) noexcept {
+  if (s == "rr" || s == "round_robin") out = Interleave::kRoundRobin;
+  else if (s == "random") out = Interleave::kRandom;
+  else if (s == "block") out = Interleave::kBlock;
+  else return false;
+  return true;
+}
+
 HostExecutor::HostExecutor(const pram::Program& program, HostExecConfig cfg)
     : prog_(&program),
       cfg_(cfg),
       n_(program.nthreads()),
+      nthreads_(clamp_threads(cfg.os_threads, program.nthreads())),
       b_(std::max<std::size_t>(4, cfg.beta * lg(program.nthreads()))),
       clock_base_(0),
       bins_base_(n_),
@@ -19,223 +52,475 @@ HostExecutor::HostExecutor(const pram::Program& program, HostExecConfig cfg)
       clock_tau_(std::max<std::uint64_t>(
           1, static_cast<std::uint64_t>(cfg.clock_alpha *
                                         static_cast<double>(n_)))),
-      clock_samples_(3 * lg(n_)),
+      clock_samples_(std::max<std::size_t>(1, 3 * lg(n_))),
+      stride_(std::max<std::uint64_t>(1, lg(n_))),
+      end_tick_(2 * static_cast<std::uint64_t>(program.nsteps())),
       mem_(n_ + n_ * b_ + program.nvars() * cfg.generations),
-      work_per_thread_(n_, 0),
-      miss_per_thread_(n_, 0),
-      done_(new std::atomic<std::uint8_t>[n_]) {
-  for (std::size_t i = 0; i < n_; ++i)
-    done_[i].store(0, std::memory_order_relaxed);
+      done_(nthreads_),
+      error_slot_(nthreads_) {
   if (cfg.generations < 2)
     throw std::invalid_argument("HostExecutor: generations must be >= 2");
+  if (cfg_.block == 0) cfg_.block = 1;
+  if (mem_.size() >= std::numeric_limits<std::uint32_t>::max())
+    throw std::invalid_argument("HostExecutor: layout exceeds 32-bit plans");
+
+  // --- virtual processors + slices ------------------------------------------
+  procs_.resize(n_);
+  apex::SeedTree seeds{cfg_.seed};
+  for (std::size_t p = 0; p < n_; ++p) {
+    procs_[p].rng = seeds.processor(p);
+    // First clock update of proc id lands at visit (stride - id) mod stride,
+    // preserving the original (iter + id) % stride staggering without a
+    // per-visit hardware divide (PR-3 lesson: divides dominate hot loops).
+    procs_[p].iter = (stride_ - p % stride_) % stride_;
+  }
+  slice_.resize(nthreads_ + 1, 0);
+  const std::size_t base = n_ / nthreads_, rem = n_ % nthreads_;
+  for (std::size_t t = 0; t < nthreads_; ++t)
+    slice_[t + 1] = slice_[t] + base + (t < rem ? 1 : 0);
+
+  // --- per-instruction operand plans ----------------------------------------
+  // Hoist every address computation and writer-table lookup out of the hot
+  // loop: one pass at construction proves all addresses in range (so the
+  // loop may use the unchecked accessors) and resolves operand slots +
+  // expected stamps per (step, instruction).
+  const std::size_t nsteps = prog_->nsteps();
+  plans_.resize(nsteps * n_);
+  step_stamp_.resize(nsteps);
+  lw_row_.resize(nsteps);
+  for (std::size_t s = 0; s < nsteps; ++s) {
+    step_stamp_[s] = static_cast<std::uint32_t>(
+        pram::stamp_of_step(static_cast<std::uint32_t>(s)));
+    lw_row_[s] = prog_->last_writer_row(s);
+    for (std::size_t i = 0; i < n_; ++i) {
+      const pram::Instr& ins = prog_->step(s).instrs[i];
+      OpPlan& pl = plans_[s * n_ + i];
+      pl.op = ins.op;
+      pl.nreads = static_cast<std::uint8_t>(pram::reads_of(ins.op));
+      pl.writes = pram::writes_dest(ins.op);
+      pl.ins = &ins;
+      const auto& w = prog_->writers(s, i);
+      if (pl.nreads >= 1) {
+        pl.x_want = static_cast<std::uint32_t>(pram::stamp_of_writer(w.x));
+        pl.x_addr = static_cast<std::uint32_t>(var_addr(ins.x, pl.x_want));
+      }
+      if (pl.nreads >= 2) {
+        pl.y_want = static_cast<std::uint32_t>(pram::stamp_of_writer(w.y));
+        pl.y_addr = static_cast<std::uint32_t>(var_addr(ins.y, pl.y_want));
+      }
+      if (pl.nreads >= 3) {
+        pl.c_want = static_cast<std::uint32_t>(pram::stamp_of_writer(w.c));
+        pl.c_addr = static_cast<std::uint32_t>(var_addr(ins.c, pl.c_want));
+      }
+      if (pl.writes)
+        pl.z_addr = static_cast<std::uint32_t>(var_addr(ins.z, step_stamp_[s]));
+    }
+  }
 }
 
-void HostExecutor::worker(std::size_t id) {
+void HostExecutor::record_error(std::size_t tid, const char* what) {
+  // Lock-free first-fault capture: the slot is thread-owned, the CAS
+  // publishes exactly one winner; run() reads both after the joins (which
+  // synchronize), so no lock is needed anywhere.
+  error_slot_[tid] = what;
+  std::int32_t expected = -1;
+  first_error_.compare_exchange_strong(expected,
+                                       static_cast<std::int32_t>(tid),
+                                       std::memory_order_acq_rel);
+}
+
+void HostExecutor::worker(std::size_t tid) {
   // A worker must never leak an exception out of its std::thread (that is
   // std::terminate).  Pack-width overflows and layout bugs land here: record
   // the first message, wave every thread off, and report via run().
   try {
-    worker_body(id);
+    if (cfg_.seq_cst)
+      worker_body<true>(tid);
+    else
+      worker_body<false>(tid);
+    done_[tid].store(abort_.load(std::memory_order_relaxed) ? 2 : 1,
+                     std::memory_order_seq_cst);
   } catch (const std::exception& e) {
-    {
-      const std::lock_guard<std::mutex> lock(error_mu_);
-      if (error_.empty()) error_ = e.what();
-    }
+    record_error(tid, e.what());
     abort_.store(true, std::memory_order_relaxed);
-    done_[id].store(2, std::memory_order_seq_cst);  // exited, not clean
+    done_[tid].store(2, std::memory_order_seq_cst);  // exited, not clean
   }
 }
 
-void HostExecutor::worker_body(std::size_t id) {
-  apex::SeedTree seeds{cfg_.seed};
-  apex::Rng rng = seeds.processor(id);
-  std::uint64_t& work = work_per_thread_[id];
-  std::uint64_t& misses = miss_per_thread_[id];
-  const std::uint64_t stride = lg(n_);
-  const std::uint64_t end_tick = 2 * static_cast<std::uint64_t>(prog_->nsteps());
-  std::uint64_t tick = 0;
-  std::uint64_t reader_clamp = 0;
+// --- memory-order selection (the downgrade audit) ---------------------------
+// The pre-virtualization port used seq_cst on every protocol word.  The hot
+// path now runs the audited orders below; cfg.seq_cst (kSeqCst here — the
+// orders must be compile-time constants to reach codegen) restores the
+// original discipline exactly.  Per-word atomicity + coherence — the only
+// property the word+stamp discipline consumes — is order-independent; each
+// downgrade argues the residual reorderings are behaviors a legal oblivious
+// adversary could already produce.
+//
+//   word class        load     store    proof obligation (details at use)
+//   clock slots       relaxed  relaxed  counters; staleness + lost updates
+//                                       are already in the model
+//   bins              acquire  release  publication of (value, stamp)
+//   generation slots  acquire  release  commit publication; exact-stamp
+//                                       acceptance pairs with release
+template <bool kSeqCst>
+struct Orders {
+  static constexpr std::memory_order kLdClock =
+      kSeqCst ? std::memory_order_seq_cst : std::memory_order_relaxed;
+  static constexpr std::memory_order kStClock = kLdClock;
+  static constexpr std::memory_order kLd =
+      kSeqCst ? std::memory_order_seq_cst : std::memory_order_acquire;
+  static constexpr std::memory_order kSt =
+      kSeqCst ? std::memory_order_seq_cst : std::memory_order_release;
+};
 
-  // Read one operand for (step s, expected writer w); stamped slot must
-  // hold exactly the expected stamp, otherwise the value is stale/missing.
-  auto read_operand = [&](std::uint32_t var,
-                          std::uint32_t writer) -> std::optional<std::uint64_t> {
-    const std::uint32_t want =
-        static_cast<std::uint32_t>(pram::stamp_of_writer(writer));
-    const HostCell c = mem_.read(var_addr(var, want));
-    work += 1;
-    if (c.stamp != want) {
-      ++misses;
-      return std::nullopt;
+template <bool kSeqCst>
+bool HostExecutor::eval(HostProc& vp, std::size_t s, std::size_t i,
+                        std::uint64_t& out) {
+  constexpr std::memory_order ld_ = Orders<kSeqCst>::kLd;
+  const OpPlan& pl = plans_[s * n_ + i];
+  if (pl.op == pram::OpCode::kNop) {
+    vp.work += 1;
+    out = 0;
+    return true;
+  }
+  std::uint64_t xv = 0, yv = 0, cv = 0;
+  // Operand reads accept only the exact expected stamp; a miss is a normal
+  // retry (the writer's commit has not landed yet).  Acquire load: pairs
+  // with the commit's release store, so an ACCEPTED operand's value is the
+  // value that commit published — the same happens-before edge seq_cst
+  // gave, at plain-load cost on x86/ARM ldar.
+  if (pl.nreads >= 1) {
+    const HostCell c = mem_.read_unchecked(pl.x_addr, ld_);
+    vp.work += 1;
+    if (c.stamp != pl.x_want) {
+      ++vp.misses;
+      return false;
     }
-    return c.value;
-  };
-
-  // Evaluate instruction i of step s; nullopt if an operand is not ready.
-  auto eval = [&](std::size_t s,
-                  std::size_t i) -> std::optional<std::uint64_t> {
-    const pram::Instr& ins = prog_->step(s).instrs[i];
-    if (ins.op == pram::OpCode::kNop) {
-      work += 1;
-      return 0;
-    }
-    const auto& w = prog_->writers(s, i);
-    const int r = pram::reads_of(ins.op);
-    std::uint64_t xv = 0, yv = 0, cv = 0;
-    if (r >= 1) {
-      const auto v = read_operand(ins.x, w.x);
-      if (!v) return std::nullopt;
-      xv = *v;
-    }
-    if (ins.op == pram::OpCode::kGather) {
-      // Data-dependent addressing: resolve the computed target against the
-      // static writer table (known for every variable), same timestamp
-      // discipline as a static operand.  Out-of-window index reads 0.
-      const std::uint32_t target = pram::gather_target(ins, xv);
-      std::uint64_t gv = 0;
-      if (target != pram::kGatherOutOfRange) {
-        const auto v = read_operand(target, prog_->last_writer_before(s, target));
-        if (!v) return std::nullopt;
-        gv = *v;
+    xv = c.value;
+  }
+  if (pl.op == pram::OpCode::kGather) {
+    // Data-dependent addressing: resolve the computed target against the
+    // static writer table (known for every variable), same timestamp
+    // discipline as a static operand.  Out-of-window index reads 0.  This
+    // is the one operand whose slot cannot be precomputed; the per-step
+    // last-writer row pointer keeps it to one table load.
+    const std::uint32_t target = pram::gather_target(*pl.ins, xv);
+    std::uint64_t gv = 0;
+    if (target != pram::kGatherOutOfRange) {
+      const std::uint32_t want = static_cast<std::uint32_t>(
+          pram::stamp_of_writer(lw_row_[s][target]));
+      const std::size_t addr = var_addr(target, want);
+      const HostCell c = mem_.read_unchecked(addr, ld_);
+      vp.work += 1;
+      if (c.stamp != want) {
+        ++vp.misses;
+        return false;
       }
-      work += 1;
-      return gv;
+      gv = c.value;
     }
-    if (r >= 2) {
-      const auto v = read_operand(ins.y, w.y);
-      if (!v) return std::nullopt;
-      yv = *v;
+    vp.work += 1;
+    out = gv;
+    return true;
+  }
+  if (pl.nreads >= 2) {
+    const HostCell c = mem_.read_unchecked(pl.y_addr, ld_);
+    vp.work += 1;
+    if (c.stamp != pl.y_want) {
+      ++vp.misses;
+      return false;
     }
-    if (r >= 3) {
-      const auto v = read_operand(ins.c, w.c);
-      if (!v) return std::nullopt;
-      cv = *v;
+    yv = c.value;
+  }
+  if (pl.nreads >= 3) {
+    const HostCell c = mem_.read_unchecked(pl.c_addr, ld_);
+    vp.work += 1;
+    if (c.stamp != pl.c_want) {
+      ++vp.misses;
+      return false;
     }
-    work += 1;  // the basic computation / random draw
-    switch (ins.op) {
-      case pram::OpCode::kRandBelow:
-        return ins.imm == 0 ? 0 : rng.below(ins.imm);
-      case pram::OpCode::kCoin:
-        return rng.uniform() * 4294967296.0 < static_cast<double>(ins.imm)
-                   ? 1
-                   : 0;
-      default:
-        return pram::eval_deterministic(ins, xv, yv, cv);
-    }
-  };
+    cv = c.value;
+  }
+  vp.work += 1;  // the basic computation / random draw
+  switch (pl.op) {
+    case pram::OpCode::kRandBelow:
+      out = pl.ins->imm == 0 ? 0 : vp.rng.below(pl.ins->imm);
+      return true;
+    case pram::OpCode::kCoin:
+      out = vp.rng.uniform() * 4294967296.0 <
+                    static_cast<double>(pl.ins->imm)
+                ? 1
+                : 0;
+      return true;
+    default:
+      out = pram::eval_deterministic(*pl.ins, xv, yv, cv);
+      return true;
+  }
+}
 
-  for (std::uint64_t iter = 0; !abort_.load(std::memory_order_relaxed);
-       ++iter) {
-    if ((iter + id) % stride == 0) {
-      // Update-Clock then Read-Clock (sampled estimate, monotone clamp).
-      const std::size_t slot = static_cast<std::size_t>(rng.below(n_));
-      const HostCell c = mem_.read(clock_base_ + slot);
-      mem_.write(clock_base_ + slot, c.value + 1, 0);
-      work += 2;
-      std::uint64_t sampled = 0;
-      for (std::size_t k = 0; k < clock_samples_; ++k)
-        sampled += mem_.read(clock_base_ + rng.below(n_)).value;
-      work += clock_samples_ + 1;
-      const double est = static_cast<double>(sampled) *
-                         (static_cast<double>(n_) /
-                          static_cast<double>(clock_samples_));
-      reader_clamp = std::max(
-          reader_clamp, static_cast<std::uint64_t>(est) / clock_tau_);
-      tick = reader_clamp;
-      if (tick >= end_tick) break;
+template <bool kSeqCst>
+bool HostExecutor::visit(HostProc& vp) {
+  constexpr std::memory_order ld_clock_ = Orders<kSeqCst>::kLdClock;
+  constexpr std::memory_order st_clock_ = Orders<kSeqCst>::kStClock;
+  constexpr std::memory_order ld_ = Orders<kSeqCst>::kLd;
+  constexpr std::memory_order st_ = Orders<kSeqCst>::kSt;
+  if (vp.iter == 0) {
+    vp.iter = stride_ - 1;
+    // Update-Clock then Read-Clock (sampled estimate, monotone clamp).
+    // Relaxed on every clock word: each slot is an independent counter and
+    // the construction already tolerates (a) arbitrarily stale reads — a
+    // legal adversary can hold this processor between any read and its next
+    // access, which is observationally identical to reading an old value —
+    // and (b) lost updates from racing read-increment-write pairs, which
+    // occur under seq_cst too (the race is at protocol level, not memory
+    // level).  No other word's value is ever inferred from a clock read, so
+    // no release/acquire pairing is being bypassed.
+    const std::size_t slot = static_cast<std::size_t>(vp.rng.below(n_));
+    const HostCell c = mem_.read_unchecked(clock_base_ + slot, ld_clock_);
+    mem_.write_unchecked(clock_base_ + slot, c.value + 1, 0, st_clock_);
+    vp.work += 2;
+    std::uint64_t sampled = 0;
+    for (std::size_t k = 0; k < clock_samples_; ++k)
+      sampled +=
+          mem_.read_unchecked(clock_base_ + vp.rng.below(n_), ld_clock_).value;
+    vp.work += clock_samples_ + 1;
+    const double est = static_cast<double>(sampled) *
+                       (static_cast<double>(n_) /
+                        static_cast<double>(clock_samples_));
+    vp.clamp =
+        std::max(vp.clamp, static_cast<std::uint64_t>(est) / clock_tau_);
+    vp.tick = vp.clamp;
+    if (vp.tick >= end_tick_) {
+      vp.done = true;
+      return true;
     }
-    if (tick >= end_tick) break;
+  } else {
+    --vp.iter;
+  }
 
-    const std::size_t s = static_cast<std::size_t>(tick / 2);
-    const std::uint32_t stamp = static_cast<std::uint32_t>(
-        pram::stamp_of_step(static_cast<std::uint32_t>(s)));
-    const std::size_t i = static_cast<std::size_t>(rng.below(n_));
-    work += 1;  // the random task choice
+  const std::size_t s = static_cast<std::size_t>(vp.tick >> 1);
+  const std::uint32_t stamp = step_stamp_[s];
+  const std::size_t i = static_cast<std::size_t>(vp.rng.below(n_));
+  vp.work += 1;  // the random task choice
+  const std::size_t brow = bins_base_ + i * b_;
 
-    if (tick % 2 == 0) {
-      // Compute subphase: one bin-array agreement cycle (Fig. 2).
-      std::ptrdiff_t lo = -1, hi = static_cast<std::ptrdiff_t>(b_);
-      while (hi - lo > 1) {
-        const std::ptrdiff_t mid = lo + (hi - lo) / 2;
-        const HostCell c =
-            mem_.read(bin_addr(i, static_cast<std::size_t>(mid)));
-        work += 1;
-        if (c.stamp == stamp)
-          lo = mid;
-        else
-          hi = mid;
+  if ((vp.tick & 1) == 0) {
+    // Compute subphase: one bin-array agreement cycle (Fig. 2).  Bin loads
+    // are acquire / bin stores release: a cell's (value, stamp) pair is
+    // complete in its single word (no ordering needed for integrity), and
+    // the release/acquire pairing preserves the copy-forward provenance
+    // argument — a cell observed with the current stamp happens-after the
+    // write that published it, so the value copied up from cell j-1 is a
+    // genuinely published proposal, exactly as under seq_cst.
+    std::ptrdiff_t lo = -1, hi = static_cast<std::ptrdiff_t>(b_);
+    while (hi - lo > 1) {
+      const std::ptrdiff_t mid = lo + (hi - lo) / 2;
+      const HostCell c =
+          mem_.read_unchecked(brow + static_cast<std::size_t>(mid), ld_);
+      vp.work += 1;
+      if (c.stamp == stamp)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    const std::size_t j = static_cast<std::size_t>(hi);
+    if (j == 0) {
+      std::uint64_t v;
+      if (eval<kSeqCst>(vp, s, i, v)) {
+        mem_.write_unchecked(brow, v, stamp, st_);
+        vp.work += 1;
       }
-      const std::size_t j = static_cast<std::size_t>(hi);
-      if (j == 0) {
-        const auto v = eval(s, i);
-        if (v) {
-          mem_.write(bin_addr(i, 0), *v, stamp);
-          work += 1;
-        }
-      } else if (j < b_) {
-        const HostCell prev = mem_.read(bin_addr(i, j - 1));
-        work += 1;
-        if (prev.stamp == stamp) {
-          mem_.write(bin_addr(i, j), prev.value, stamp);
-          work += 1;
-        }
+    } else if (j < b_) {
+      const HostCell prev = mem_.read_unchecked(brow + j - 1, ld_);
+      vp.work += 1;
+      if (prev.stamp == stamp) {
+        mem_.write_unchecked(brow + j, prev.value, stamp, st_);
+        vp.work += 1;
       }
-    } else {
-      // Copy subphase: fetch the agreed NewVal[i] from the bin's upper
-      // half and commit it to z_i's generation slot.
-      const pram::Instr& ins = prog_->step(s).instrs[i];
-      if (!pram::writes_dest(ins.op)) continue;
-      std::optional<std::uint64_t> v;
-      for (std::size_t j = b_ / 2; j < b_; ++j) {
-        const HostCell c = mem_.read(bin_addr(i, j));
-        work += 1;
-        if (c.stamp == stamp) {
-          v = c.value;
-          break;
-        }
+    }
+  } else {
+    // Copy subphase: fetch the agreed NewVal[i] from the bin's upper
+    // half and commit it to z_i's generation slot.
+    const OpPlan& pl = plans_[s * n_ + i];
+    if (!pl.writes) return false;
+    bool got = false;
+    std::uint64_t v = 0;
+    for (std::size_t j = b_ / 2; j < b_; ++j) {
+      const HostCell c = mem_.read_unchecked(brow + j, ld_);
+      vp.work += 1;
+      if (c.stamp == stamp) {
+        v = c.value;
+        got = true;
+        break;
       }
-      if (v) {
-        // Never regress a newer generation.  Real threads have UNBOUNDED
-        // tick-estimate staleness (the OS can park a thread across whole
-        // phases), so a woken straggler may re-run a copy task from G or
-        // more steps ago — blindly storing would clobber the newer write
-        // sharing the slot (stamp congruent mod G) with a stale value.
-        // The simulated executor needs no guard: its estimate skew is a
-        // couple of ticks, far inside the G-generation window.  The
-        // read+write pair below is not atomic, but shrinking the race from
-        // "parked anywhere since the task was chosen" to "parked between
-        // these two instructions AND for >= 2(G-1) ticks" makes it
-        // vanishingly unlikely rather than routine.
-        const HostCell cur = mem_.read(var_addr(ins.z, stamp));
-        work += 1;
-        if (cur.stamp <= stamp) {
-          mem_.write(var_addr(ins.z, stamp), *v, stamp);
-          work += 1;
-        }
+    }
+    if (got) {
+      // Never regress a newer generation.  Real threads have UNBOUNDED
+      // tick-estimate staleness (the OS can park a thread across whole
+      // phases), so a woken straggler may re-run a copy task from G or
+      // more steps ago — blindly storing would clobber the newer write
+      // sharing the slot (stamp congruent mod G) with a stale value.
+      // The simulated executor needs no guard: its estimate skew is a
+      // couple of ticks, far inside the G-generation window.  The
+      // read+write pair below is not atomic, but shrinking the race from
+      // "parked anywhere since the task was chosen" to "parked between
+      // these two instructions AND for >= 2(G-1) ticks" makes it
+      // vanishingly unlikely rather than routine — and the post-run
+      // audit + repair pass (audit_and_repair) catches what remains.
+      // Commit store is release (pairs with the operand acquire above);
+      // the guard read is acquire.  Seq_cst would additionally order this
+      // commit against commits to OTHER slots in a global sequence, but
+      // no reader ever infers one slot's state from another's, so that
+      // ordering is never consumed.
+      const HostCell cur = mem_.read_unchecked(pl.z_addr, ld_);
+      vp.work += 1;
+      if (cur.stamp <= stamp) {
+        mem_.write_unchecked(pl.z_addr, v, stamp, st_);
+        vp.work += 1;
       }
     }
   }
-  done_[id].store(abort_.load(std::memory_order_relaxed) ? 2 : 1,
-                  std::memory_order_seq_cst);
+  return false;
+}
+
+template <bool kSeqCst>
+void HostExecutor::worker_body(std::size_t tid) {
+  const std::size_t lo = slice_[tid], hi = slice_[tid + 1];
+  std::size_t alive = hi - lo;
+  switch (cfg_.interleave) {
+    case Interleave::kRoundRobin: {
+      while (alive > 0 && !abort_.load(std::memory_order_relaxed)) {
+        for (std::size_t p = lo; p < hi; ++p) {
+          HostProc& vp = procs_[p];
+          if (vp.done) continue;
+          if (visit<kSeqCst>(vp)) --alive;
+        }
+      }
+      break;
+    }
+    case Interleave::kRandom: {
+      std::vector<std::size_t> active(hi - lo);
+      std::iota(active.begin(), active.end(), lo);
+      apex::Rng policy(
+          apex::mix64(apex::mix64(cfg_.seed, kInterleaveTag), tid));
+      while (!active.empty() && !abort_.load(std::memory_order_relaxed)) {
+        const std::size_t k =
+            static_cast<std::size_t>(policy.below(active.size()));
+        const std::size_t p = active[k];
+        if (visit<kSeqCst>(procs_[p])) {
+          active[k] = active.back();
+          active.pop_back();
+        }
+      }
+      break;
+    }
+    case Interleave::kBlock: {
+      while (alive > 0 && !abort_.load(std::memory_order_relaxed)) {
+        for (std::size_t p = lo; p < hi; ++p) {
+          HostProc& vp = procs_[p];
+          if (vp.done) continue;
+          for (std::size_t b = 0; b < cfg_.block; ++b)
+            if (visit<kSeqCst>(vp)) {
+              --alive;
+              break;
+            }
+          if (abort_.load(std::memory_order_relaxed)) break;
+        }
+      }
+      break;
+    }
+  }
+}
+
+void HostExecutor::audit_and_repair(HostExecResult& out) {
+  // Commit audit (see header): every variable's final value must carry its
+  // last writer's stamp.  A tardy ultra-stale store cannot forge a newer
+  // stamp, so damage is always visible here.  Quiescent (threads joined),
+  // so the reads are exact and the repair below is race-free.
+  if (prog_->nsteps() == 0) return;
+  const std::size_t last = prog_->nsteps() - 1;
+  for (std::uint32_t v = 0; v < prog_->nvars(); ++v) {
+    // last_writer_before(last, v) excludes the final step itself.
+    std::uint32_t writer = prog_->last_writer_before(last, v);
+    for (const pram::Instr& ins : prog_->step(last).instrs)
+      if (pram::writes_dest(ins.op) && ins.z == v)
+        writer = static_cast<std::uint32_t>(last);
+    if (writer == pram::kInitial) continue;
+    const std::uint32_t want =
+        static_cast<std::uint32_t>(pram::stamp_of_step(writer));
+    const std::size_t slot = var_addr(v, want);
+    if (mem_.read(slot).stamp == want) continue;
+
+    // Audited-stale slot.  The agreed value for (writer, v) may still be
+    // published in the writer instruction's bin: the upper half is the
+    // domain of Theorem 1's uniqueness property, so any upper cell carrying
+    // the wanted stamp holds THE agreed value — re-committing it is exactly
+    // the Copy subphase replayed at quiescence, hence sound.  If every
+    // upper cell has been recycled by later phases (stamp moved on), the
+    // value is unrecoverable and the slot stays in lost_commits.
+    bool repaired = false;
+    if (cfg_.repair) {
+      std::size_t task = n_;
+      const auto& instrs = prog_->step(writer).instrs;
+      for (std::size_t i = 0; i < n_; ++i)
+        if (pram::writes_dest(instrs[i].op) && instrs[i].z == v) {
+          task = i;  // EREW: at most one writer instruction per variable
+          break;
+        }
+      // Bounded retries: at quiescence one re-commit + re-audit suffices,
+      // but the loop keeps the pass correct even if a future caller runs
+      // it concurrently with stragglers.
+      for (int attempt = 0; attempt < 3 && task < n_ && !repaired;
+           ++attempt) {
+        bool found = false;
+        for (std::size_t j = b_ / 2; j < b_; ++j) {
+          const HostCell c = mem_.read(bin_addr(task, j));
+          if (c.stamp == want) {
+            mem_.write(slot, c.value, want);
+            found = true;
+            break;
+          }
+        }
+        if (!found) break;  // bin recycled: unrepairable
+        repaired = mem_.read(slot).stamp == want;  // re-audit
+      }
+    }
+    if (repaired)
+      ++out.repaired_commits;
+    else
+      ++out.lost_commits;
+  }
 }
 
 HostExecResult HostExecutor::run() {
   const auto t0 = std::chrono::steady_clock::now();
+  if (end_tick_ == 0) {
+    // Zero-step program: every processor is already past the final tick.
+    // The old executor's loop checked `tick >= end_tick` before its first
+    // step; the virtualized visit() only re-checks at clock updates, so a
+    // run would index the empty per-step plan tables — exit up front.
+    HostExecResult out;
+    out.completed = true;
+    out.memory.assign(prog_->nvars(), 0);
+    out.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return out;
+  }
   std::vector<std::thread> threads;
-  threads.reserve(n_);
-  for (std::size_t id = 0; id < n_; ++id)
-    threads.emplace_back([this, id] { worker(id); });
+  threads.reserve(nthreads_);
+  for (std::size_t tid = 0; tid < nthreads_; ++tid)
+    threads.emplace_back([this, tid] { worker(tid); });
 
   // Watchdog: abort stragglers past the deadline (never triggers on a
-  // healthy run — the phase clock terminates every thread).
+  // healthy run — the phase clock terminates every worker).
   std::thread watchdog([&] {
     for (;;) {
       const double elapsed =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
       bool all = true;
-      for (std::size_t id = 0; id < n_; ++id)
-        all &= (done_[id].load(std::memory_order_seq_cst) != 0);
+      for (std::size_t tid = 0; tid < nthreads_; ++tid)
+        all &= (done_[tid].load(std::memory_order_seq_cst) != 0);
       if (all) return;
       if (elapsed > cfg_.timeout_seconds) {
         abort_.store(true, std::memory_order_relaxed);
@@ -248,21 +533,24 @@ HostExecResult HostExecutor::run() {
   watchdog.join();
 
   HostExecResult out;
-  {
-    const std::lock_guard<std::mutex> lock(error_mu_);
-    out.error = error_;
-  }
+  const std::int32_t err = first_error_.load(std::memory_order_acquire);
+  if (err >= 0) out.error = error_slot_[static_cast<std::size_t>(err)];
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   out.completed = true;
-  for (std::size_t id = 0; id < n_; ++id) {
-    out.completed &= (done_[id].load(std::memory_order_seq_cst) == 1);
-    out.total_work += work_per_thread_[id];
-    out.stamp_misses += miss_per_thread_[id];
+  for (std::size_t tid = 0; tid < nthreads_; ++tid)
+    out.completed &= (done_[tid].load(std::memory_order_seq_cst) == 1);
+  for (const HostProc& vp : procs_) {
+    out.total_work += vp.work;
+    out.stamp_misses += vp.misses;
   }
 
-  // Freshest generation slot wins.
+  if (cfg_.preaudit_fault) cfg_.preaudit_fault(mem_);
+  if (out.completed) audit_and_repair(out);
+
+  // Freshest generation slot wins (after repair, so a repaired commit is
+  // what extraction sees).
   out.memory.assign(prog_->nvars(), 0);
   for (std::size_t v = 0; v < prog_->nvars(); ++v) {
     std::uint32_t best_stamp = 0;
@@ -275,25 +563,6 @@ HostExecResult HostExecutor::run() {
       }
     }
     out.memory[v] = best_value;
-  }
-
-  // Commit audit (see header): every variable's final value must carry its
-  // last writer's stamp.  A tardy ultra-stale store cannot forge a newer
-  // stamp, so damage is always visible here.  Quiescent (threads joined),
-  // so the reads are exact.
-  if (out.completed && prog_->nsteps() > 0) {
-    const std::size_t last = prog_->nsteps() - 1;
-    for (std::uint32_t v = 0; v < prog_->nvars(); ++v) {
-      // last_writer_before(last, v) excludes the final step itself.
-      std::uint32_t writer = prog_->last_writer_before(last, v);
-      for (const pram::Instr& ins : prog_->step(last).instrs)
-        if (pram::writes_dest(ins.op) && ins.z == v)
-          writer = static_cast<std::uint32_t>(last);
-      if (writer == pram::kInitial) continue;
-      const std::uint32_t want =
-          static_cast<std::uint32_t>(pram::stamp_of_step(writer));
-      if (mem_.read(var_addr(v, want)).stamp != want) ++out.lost_commits;
-    }
   }
   return out;
 }

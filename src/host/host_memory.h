@@ -7,14 +7,20 @@
 // accesses are plain loads/stores — no compare-and-swap anywhere, matching
 // the model's "no compound read-write atomicity".
 //
-// Memory order: every access uses seq_cst.  The protocols tolerate ANY
-// interleaving (that is the point of the paper), so relaxed orders would
-// also be correct for the protocol state itself; seq_cst keeps the
-// out-of-band checkers simple and this port is about fidelity, not
-// throughput.
+// Memory order: callers choose per access.  The default is seq_cst, which
+// keeps out-of-band pollers (HostAgreement's scanner) trivially correct.
+// The virtualized executor (host_executor.cpp) downgrades protocol words to
+// relaxed/acq-rel orders — each downgrade carries a proof obligation at its
+// use site arguing why the weaker order cannot introduce any behavior a
+// legal oblivious adversary could not already produce — and offers a
+// seq_cst fidelity fallback (HostExecConfig::seq_cst).  The one property
+// every order shares, and the only one the word+stamp discipline consumes,
+// is per-word atomicity + coherence: a load returns some value previously
+// stored to THAT word, never a torn mix.
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
@@ -51,13 +57,31 @@ class HostMemory {
 
   std::size_t size() const noexcept { return cells_.size(); }
 
-  HostCell read(std::size_t addr) const {
-    const std::uint64_t w = cells_.at(addr).load(std::memory_order_seq_cst);
+  HostCell read(std::size_t addr,
+                std::memory_order mo = std::memory_order_seq_cst) const {
+    const std::uint64_t w = cells_.at(addr).load(mo);
     return HostCell{Pack::value_of(w), Pack::stamp_of(w)};
   }
 
-  void write(std::size_t addr, std::uint64_t value, std::uint32_t stamp) {
-    cells_.at(addr).store(Pack::pack(value, stamp), std::memory_order_seq_cst);
+  void write(std::size_t addr, std::uint64_t value, std::uint32_t stamp,
+             std::memory_order mo = std::memory_order_seq_cst) {
+    cells_.at(addr).store(Pack::pack(value, stamp), mo);
+  }
+
+  // Unchecked variants for hot paths whose addresses were validated when
+  // the layout was built (the executor proves every plan address in range
+  // at construction; Debug builds keep the assert).  Mirrors the simulator
+  // fast path's Memory::at_unchecked contract.
+  HostCell read_unchecked(std::size_t addr, std::memory_order mo) const {
+    assert(addr < cells_.size());
+    const std::uint64_t w = cells_[addr].load(mo);
+    return HostCell{Pack::value_of(w), Pack::stamp_of(w)};
+  }
+
+  void write_unchecked(std::size_t addr, std::uint64_t value,
+                       std::uint32_t stamp, std::memory_order mo) {
+    assert(addr < cells_.size());
+    cells_[addr].store(Pack::pack(value, stamp), mo);
   }
 
  private:

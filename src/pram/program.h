@@ -63,6 +63,13 @@ class Program {
   /// (kInitial if none).
   std::uint32_t last_writer_before(std::size_t s, std::uint32_t var) const;
 
+  /// Raw last-writer row for step `s`: nvars() entries, indexed by variable.
+  /// For executors that resolve computed-index (kGather) targets on their
+  /// hot path and cannot afford the double bounds check per lookup.
+  const std::uint32_t* last_writer_row(std::size_t s) const {
+    return last_writer_.at(s).data();
+  }
+
   /// Validates the EREW discipline: in every step, each variable is read by
   /// at most one thread and written by at most one thread.  A variable may
   /// be both read and written in the same step (possibly by different

@@ -924,29 +924,33 @@ std::string check_dag(std::size_t n, const std::vector<Word>& mem) {
 const std::vector<WorkloadSpec>& workload_registry() {
   static const std::vector<WorkloadSpec> kRegistry = {
       {"luby", "Luby MIS round on the n-cycle", false, false, 3, false, false,
-       reg_make_luby, check_luby},
+       reg_make_luby, check_luby, {}},
       {"leader", "randomized leader election", false, false, 2, true, false,
-       reg_make_leader, check_leader},
+       reg_make_leader, check_leader, {}},
       {"ring", "randomized ring coloring", false, false, 3, false, false,
-       reg_make_ring, check_ring},
+       reg_make_ring, check_ring, {}},
       {"coins", "T steps of biased coins", false, false, 1, false, false,
-       reg_make_coins, check_coins},
+       reg_make_coins, check_coins, {}},
       {"probe", "consistency probe (E13)", false, false, 2, false, false,
-       reg_make_probe, check_probe},
+       reg_make_probe, check_probe, {}},
       {"prefix", "Hillis-Steele prefix sum", true, false, 2, true, false,
-       reg_make_prefix, check_prefix},
+       reg_make_prefix, check_prefix, {}},
       {"sort", "odd-even transposition sort", true, false, 2, false, true,
-       reg_make_sort, check_sort},
+       reg_make_sort, check_sort, {}},
       {"reduction", "tournament reduction", true, false, 2, true, false,
-       reg_make_reduction, check_reduction},
+       reg_make_reduction, check_reduction, {}},
+      // The irregular suite also registers canonical LARGE-n instances
+      // (P = 64/128 logical processors): the builders are size-generic and
+      // cheap (620 steps for bfs at n=64, built in O(ms)), and the
+      // virtualized host executor runs them on a handful of OS threads.
       {"bfs", "BFS frontier expansion (irregular)", true, true, 6, false,
-       false, reg_make_bfs, check_bfs},
+       false, reg_make_bfs, check_bfs, {64, 128}},
       {"merge", "bitonic butterfly merge (irregular)", true, true, 2, true,
-       false, reg_make_merge, check_merge},
+       false, reg_make_merge, check_merge, {}},
       {"spmv", "CSR sparse mat-vec via gathers (irregular)", true, true, 2,
-       false, false, reg_make_spmv, check_spmv},
+       false, false, reg_make_spmv, check_spmv, {64, 128}},
       {"dag", "work-stealing-shaped DAG (irregular)", false, true, 2, false,
-       false, reg_make_dag, check_dag},
+       false, reg_make_dag, check_dag, {64, 128}},
   };
   return kRegistry;
 }

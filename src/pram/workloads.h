@@ -192,6 +192,12 @@ struct WorkloadSpec {
   /// in plain C++ (independent of the interpreter), nondeterministic ones
   /// check their self-declared invariants.
   std::string (*check)(std::size_t n, const std::vector<Word>& mem);
+  /// Canonical LARGE-n instances (the host scaling study's grid): sizes far
+  /// beyond a runner's core count that the virtualized host executor drives
+  /// on a handful of OS threads.  Empty = small-instance kernel only.  The
+  /// bench_e12 scaling table, the differential suite's P >> T section and
+  /// the fuzzer's large-n trials enumerate these.
+  std::vector<std::size_t> scale_ns;
 };
 
 const std::vector<WorkloadSpec>& workload_registry();

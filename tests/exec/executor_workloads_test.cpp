@@ -142,6 +142,27 @@ TEST(ExecutorWorkloads, SpmvGatherKernelMatchesReferenceBitForBit) {
     EXPECT_EQ(res.memory[v], ref.memory[v]) << "v" << v;
 }
 
+TEST(ExecutorWorkloads, LargeRegistryInstanceRunsThroughTheSimulatedScheme) {
+  // The registry's scale_ns instances are not host-only: the simulated
+  // scheme handles P = 64 too (this is what the fuzzer's rare large-n
+  // trials exercise under adversarial schedules).  spmv is the cheapest of
+  // the scale kernels and the one with run-time-addressed gathers.
+  const auto* wl = pram::find_workload("spmv");
+  ASSERT_NE(wl, nullptr);
+  ASSERT_FALSE(wl->scale_ns.empty());
+  const std::size_t n = wl->scale_ns.front();  // 64
+  pram::Program p = wl->make(n);
+  const auto ref = pram::Interpreter(p).run_deterministic({});
+  ExecConfig cfg;
+  cfg.seed = 131;
+  Executor ex(p, Scheme::kNondeterministic, cfg);
+  const auto res = ex.run(Executor::default_budget(p));
+  ASSERT_TRUE(res.completed);
+  ASSERT_EQ(res.incomplete_tasks, 0u);
+  for (std::size_t v = 0; v < ref.memory.size(); ++v)
+    ASSERT_EQ(res.memory[v], ref.memory[v]) << "v" << v;
+}
+
 TEST(ExecutorWorkloads, PrefixSumSelfUpdateStepsSurviveHostileSchedule) {
   // make_prefix_sum reads and writes a[i] in one step — the generation-slot
   // memory must keep the pre-step value readable while the new one lands.

@@ -148,6 +148,74 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(info.param);
     });
 
+// --- P >> T: the large registry instances on the virtualized host ----------
+//
+// The registry's scale_ns instances (n = 64/128) exceed any runner's core
+// count; the virtualized executor drives them on T = 2 OS threads.  The
+// acceptance bar is the same soundness claim as the TEST_P host case: an
+// AUDIT-CLEAN run of a deterministic kernel is bit-for-bit the synchronous
+// reference, and a nondeterministic kernel satisfies its invariants.
+
+TEST(DifferentialLargeN, VirtualizedHostBitForBitAtP64) {
+  for (const char* name : {"bfs", "spmv"}) {
+    const auto* wl = pram::find_workload(name);
+    ASSERT_NE(wl, nullptr);
+    ASSERT_FALSE(wl->scale_ns.empty()) << name;
+    const std::size_t n = wl->scale_ns.front();  // 64
+    const pram::Program p = wl->make(n);
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      host::HostExecConfig cfg;
+      cfg.seed = 144 + static_cast<std::uint64_t>(attempt);
+      cfg.os_threads = 2;
+      cfg.clock_alpha = 48.0;
+      cfg.timeout_seconds = 120.0;
+      host::HostExecutor ex(p, cfg);
+      const auto res = ex.run();
+      ASSERT_TRUE(res.completed) << name << " error=" << res.error;
+      if (res.lost_commits != 0 && attempt < 3) continue;  // detected damage
+      ASSERT_EQ(res.lost_commits, 0u) << name;
+      std::vector<Word> mem(res.memory.begin(), res.memory.end());
+      EXPECT_EQ(wl->check(n, mem), "") << name;
+      const auto ref = pram::Interpreter(p).run_deterministic({});
+      for (std::size_t v = 0; v < ref.memory.size(); ++v)
+        ASSERT_EQ(mem[v], ref.memory[v]) << name << " v" << v;
+      break;
+    }
+  }
+}
+
+TEST(DifferentialLargeN, DagInvariantsHoldAtP64) {
+  const auto* wl = pram::find_workload("dag");
+  ASSERT_NE(wl, nullptr);
+  const std::size_t n = 64;
+  const pram::Program p = wl->make(n);
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    host::HostExecConfig cfg;
+    cfg.seed = 155 + static_cast<std::uint64_t>(attempt);
+    cfg.os_threads = 2;
+    cfg.clock_alpha = 48.0;
+    cfg.timeout_seconds = 120.0;
+    host::HostExecutor ex(p, cfg);
+    const auto res = ex.run();
+    ASSERT_TRUE(res.completed) << res.error;
+    if (res.lost_commits != 0 && attempt < 3) continue;
+    ASSERT_EQ(res.lost_commits, 0u);
+    std::vector<Word> mem(res.memory.begin(), res.memory.end());
+    EXPECT_EQ(wl->check(n, mem), "");
+    return;
+  }
+}
+
+TEST(DifferentialLargeN, ScaleInstancesAreRegistryLegal) {
+  // Every registered scale_ns value must satisfy the entry's own n
+  // constraints — a drifting builder precondition fails here, not deep in
+  // a bench grid.
+  for (const auto& spec : pram::workload_registry())
+    for (const std::size_t n : spec.scale_ns)
+      EXPECT_TRUE(pram::workload_supports_n(spec, n))
+          << spec.name << " scale n=" << n;
+}
+
 TEST(DifferentialCoverage, EveryRegistryEntryIsInTheGrid) {
   // Guards the INSTANTIATE list above against registry drift.
   const char* listed[] = {"luby", "leader", "ring",  "coins", "probe",

@@ -7,11 +7,16 @@
 //       per-property status, and a bin heatmap.
 //
 //   apexcli exec   [--workload=luby] [--n=8] [--scheme=nondet] [--sched=...]
-//                  [--engine=batched|single_step]
+//                  [--engine=batched|single_step|host]
 //       run any REGISTERED PRAM workload (pram::workload_registry(): the
 //       regular kernels plus the irregular suite — bfs, merge, spmv, dag)
 //       through the execution scheme and verify its final-memory
-//       invariants.
+//       invariants.  --engine=host runs it on the virtualized real-thread
+//       executor instead of the simulator: P = n logical processors on
+//       --threads OS threads (0 = one per processor), --interleave=
+//       rr|random|block, --alpha=N clock updates per tick, --seq-cst for
+//       the fidelity memory-order fallback — which is how the large
+//       registry instances (n = 64/128) run on a laptop.
 //
 //   apexcli host   [--threads=4] [--seed=1]
 //       run bin-array agreement on real std::threads.
@@ -40,9 +45,13 @@
 //       the batched/single_step ratio is the engine speedup.  A second
 //       grid runs registered PRAM workloads through the full execution
 //       scheme (regular vs irregular kernels), so data-dependent
-//       throughput is on the trajectory too.  Results are printed as
-//       tables and dumped to a JSON file that CI archives as the repo's
-//       perf trajectory (soft-gated against the committed baseline).
+//       throughput is on the trajectory too.  A third grid (`host_rows`)
+//       runs the virtualized host executor over T x P x interleave x
+//       memory-order configurations — including the P = 64/128 registry
+//       scale instances — so the real-thread scaling story is measured,
+//       not asserted.  Results are printed as tables and dumped to a JSON
+//       file that CI archives as the repo's perf trajectory (soft-gated
+//       against the committed baseline).
 //
 //   apexcli sched
 //       list the adversary schedule family.
@@ -58,6 +67,7 @@
 #include <map>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "batch/sweep.h"
@@ -161,6 +171,64 @@ int cmd_exec(const Args& a) {
                  spec->pow2_n ? ", power of two" : "",
                  spec->even_n ? ", even" : "");
     return 2;
+  }
+  if (a.str("engine", "batched") == std::string("host")) {
+    // The virtualized host executor: P = n logical processors multiplexed
+    // onto --threads OS threads (0 = one thread per processor, the legacy
+    // shape).  Real preemption replaces the simulated adversary, so a rare
+    // detected-damage run (lost_commits after repair) is retried on a
+    // fresh seed rather than trusted.
+    host::HostExecConfig hcfg;
+    hcfg.seed = a.u64("seed", 1);
+    hcfg.os_threads = a.u64("threads", 0);
+    hcfg.clock_alpha = static_cast<double>(
+        a.u64("alpha", hcfg.os_threads == 0 ? 4096 : 48));
+    hcfg.seq_cst = a.kv.count("seq-cst") != 0;
+    hcfg.timeout_seconds = 300.0;
+    if (!host::parse_interleave(a.str("interleave", "rr"), hcfg.interleave)) {
+      std::fprintf(stderr, "unknown --interleave (rr|random|block)\n");
+      return 2;
+    }
+    const pram::Program p = spec->make(n);
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      host::HostExecutor ex(p, hcfg);
+      const auto res = ex.run();
+      std::printf(
+          "exec: workload=%s (%s%s) n=%zu steps=%zu engine=host T=%zu "
+          "interleave=%s order=%s alpha=%g\n",
+          wl.c_str(), spec->deterministic ? "det" : "nondet",
+          spec->irregular ? ", irregular" : "", n, p.nsteps(),
+          ex.os_threads(), host::interleave_name(hcfg.interleave),
+          hcfg.seq_cst ? "seq_cst" : "acq_rel", hcfg.clock_alpha);
+      std::printf(
+          "  completed=%s work=%llu stamp_misses=%llu lost_commits=%zu "
+          "repaired_commits=%zu wall=%.3fs\n",
+          res.completed ? "yes" : "NO",
+          static_cast<unsigned long long>(res.total_work),
+          static_cast<unsigned long long>(res.stamp_misses),
+          res.lost_commits, res.repaired_commits, res.wall_seconds);
+      if (!res.completed) {
+        std::printf("  aborted: %s\n",
+                    res.error.empty() ? "timeout" : res.error.c_str());
+        return 1;
+      }
+      if (res.lost_commits != 0) {
+        std::printf("  detected unrepairable preemption damage; re-running "
+                    "on a fresh seed\n");
+        hcfg.seed += 1000;
+        continue;
+      }
+      const std::vector<pram::Word> mem(res.memory.begin(), res.memory.end());
+      const std::string verdict = spec->check(n, mem);
+      if (!verdict.empty()) {
+        std::printf("  INVARIANT VIOLATION: %s\n", verdict.c_str());
+        return 1;
+      }
+      std::printf("  invariants: ok\n");
+      return 0;
+    }
+    std::printf("  damaged on every attempt\n");
+    return 1;
   }
   exec::ExecConfig cfg;
   cfg.seed = a.u64("seed", 1);
@@ -429,6 +497,76 @@ WorkloadPerfRow run_workload_perf(const char* name, std::size_t n, int reps) {
   return r;
 }
 
+/// Host-substrate throughput: a registered workload through the virtualized
+/// HostExecutor (P = n logical processors on T OS threads; T = 0 is the
+/// legacy one-thread-per-processor shape).  Best-of-reps wall clock; rows
+/// land in BENCH_core.json as `host_rows`, putting the scaling half of the
+/// benchmark story on the same committed trajectory as the simulator core.
+struct HostPerfRow {
+  const char* workload;
+  std::size_t n;        ///< P.
+  std::size_t threads;  ///< T (0 = legacy shape).
+  const char* policy;
+  const char* order;
+  double alpha;
+  bool completed;
+  bool ok;
+  std::uint64_t work;
+  std::size_t lost;
+  std::size_t repaired;
+  double seconds;
+  double work_per_sec;
+};
+
+HostPerfRow run_host_perf(const char* name, std::size_t n, std::size_t T,
+                          host::Interleave il, bool seq_cst, double alpha,
+                          int reps) {
+  const pram::WorkloadSpec* spec = pram::find_workload(name);
+  const pram::Program p = spec->make(n);
+  HostPerfRow r{name,  n,    T,    host::interleave_name(il),
+                seq_cst ? "seq_cst" : "acq_rel", alpha, true, true,
+                0,     0,    0,    0.0,  0.0};
+  bool timed = false;
+  for (int rep = 0; rep < reps; ++rep) {
+    host::HostExecConfig cfg;
+    cfg.seed = 1 + static_cast<std::uint64_t>(rep);
+    cfg.os_threads = T;
+    cfg.interleave = il;
+    cfg.seq_cst = seq_cst;
+    cfg.clock_alpha = alpha;
+    cfg.timeout_seconds = 300.0;
+    // A rep with detected preemption damage is retried on a fresh seed
+    // (same policy as bench_e12 and `exec --engine=host`): the damage is
+    // counted on the row, but an untrusted run may neither win the
+    // best-of-reps slot nor latch the row not-ok.
+    bool clean = false;
+    for (int attempt = 0; attempt < 3 && !clean; ++attempt) {
+      host::HostExecutor ex(p, cfg);
+      const auto res = ex.run();
+      r.completed &= res.completed;
+      r.lost += res.lost_commits;
+      r.repaired += res.repaired_commits;
+      if (!res.completed) break;
+      if (res.lost_commits != 0) {
+        cfg.seed += 1000;
+        continue;
+      }
+      clean = true;
+      std::vector<pram::Word> mem(res.memory.begin(), res.memory.end());
+      r.ok &= spec->check(n, mem).empty();
+      if (!timed || res.wall_seconds < r.seconds) {
+        r.seconds = res.wall_seconds;
+        r.work = res.total_work;
+        timed = true;
+      }
+    }
+    r.ok &= clean;
+  }
+  r.work_per_sec =
+      r.seconds > 0 ? static_cast<double>(r.work) / r.seconds : 0.0;
+  return r;
+}
+
 int cmd_perfbench(const Args& a) {
   const bool quick = a.kv.count("quick") != 0;
   const std::uint64_t steps =
@@ -467,6 +605,41 @@ int cmd_perfbench(const Args& a) {
   for (const auto& [name, n] : wl_grid)
     wl_rows.push_back(run_workload_perf(name, n, reps));
 
+  // Host rows: the virtualized executor's T x P x policy x order grid.
+  // The legacy-shape prefix row (T = 0, alpha = 4096) anchors against the
+  // committed host_pre_virtualization block; the P = 64 rows are the
+  // scaling configurations the one-thread-per-processor design never ran.
+  const std::size_t hw = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  struct HostPoint {
+    const char* wl;
+    std::size_t n, T;
+    host::Interleave il;
+    bool seq_cst;
+    double alpha;
+  };
+  const auto kBlk = host::Interleave::kBlock;
+  const auto kRR = host::Interleave::kRoundRobin;
+  std::vector<HostPoint> host_grid = {
+      {"prefix", 8, 0, kRR, false, 4096.0},               // legacy shape
+      {"prefix", 8, std::min<std::size_t>(hw, 8), kBlk, false, 4096.0},
+      {"spmv", 64, 2, kBlk, false, 48.0},
+      {"spmv", 64, 2, kBlk, true, 48.0},                  // fidelity fallback
+  };
+  if (!quick) {
+    host_grid.push_back({"spmv", 64, 2, kRR, false, 48.0});
+    host_grid.push_back({"spmv", 64, 2, host::Interleave::kRandom, false,
+                         48.0});
+    host_grid.push_back({"bfs", 64, 2, kBlk, false, 48.0});
+    host_grid.push_back({"dag", 64, 2, kBlk, false, 48.0});
+    host_grid.push_back({"spmv", 128, 4, kBlk, false, 48.0});
+    host_grid.push_back({"bfs", 128, 4, kBlk, false, 48.0});
+  }
+  std::vector<HostPerfRow> host_rows;
+  for (const auto& pt : host_grid)
+    host_rows.push_back(
+        run_host_perf(pt.wl, pt.n, pt.T, pt.il, pt.seq_cst, pt.alpha, reps));
+
   Table t({"sched", "n", "observer", "engine", "steps", "sec", "steps/sec"});
   for (const auto& r : rows)
     t.row()
@@ -488,13 +661,34 @@ int cmd_perfbench(const Args& a) {
         .cell(r.work)
         .cell(r.seconds, 3)
         .cell(r.work_per_sec, 0);
+  Table ht({"workload", "P", "T", "policy", "order", "alpha", "completed",
+            "invariants", "lost", "repaired", "work", "sec", "work/sec"});
+  for (const auto& r : host_rows)
+    ht.row()
+        .cell(r.workload)
+        .cell(static_cast<std::uint64_t>(r.n))
+        .cell(static_cast<std::uint64_t>(r.threads))
+        .cell(r.policy)
+        .cell(r.order)
+        .cell(r.alpha, 0)
+        .cell(r.completed ? "yes" : "NO")
+        .cell(r.ok ? "ok" : "VIOLATED")
+        .cell(static_cast<std::uint64_t>(r.lost))
+        .cell(static_cast<std::uint64_t>(r.repaired))
+        .cell(r.work)
+        .cell(r.seconds, 3)
+        .cell(r.work_per_sec, 0);
   if (a.kv.count("csv")) {
     t.print_csv(std::cout);
     wt.print_csv(std::cout);
+    ht.print_csv(std::cout);
   } else {
     t.print(std::cout);
     std::printf("\nworkload throughput (full scheme, nondet, batched):\n");
     wt.print(std::cout);
+    std::printf("\nhost throughput (virtualized executor, P procs on T "
+                "threads; T=0 = one thread per proc):\n");
+    ht.print(std::cout);
   }
 
   // Engine speedup on the headline configuration (round_robin, observer
@@ -520,19 +714,23 @@ int cmd_perfbench(const Args& a) {
   std::printf("\nbatched vs single_step reference (round_robin, no observer, "
               "min over n): %.2fx\n", speedup_min);
 
-  // The committed BENCH_core.json carries a hand-added "pre_refactor"
-  // block (parent-commit measurements with provenance).  Rewriting the
-  // file must not destroy it: lift the block out of any existing file and
-  // splice it back into the fresh output.
-  std::string pre_refactor_block;
+  // The committed BENCH_core.json carries hand-added provenance blocks
+  // ("pre_refactor": the genuine pre-batching engine measured from the
+  // parent commit of PR 3; "host_pre_virtualization": the one-thread-per-
+  // processor host executor measured from the parent commit of the
+  // virtualization PR).  Rewriting the file must not destroy them: lift
+  // each block out of any existing file and splice it back into the fresh
+  // output.
+  std::vector<std::string> kept_blocks;
   {
     std::ifstream prev(out_path);
     if (prev) {
       std::string text((std::istreambuf_iterator<char>(prev)),
                        std::istreambuf_iterator<char>());
-      const auto key = text.find("\"pre_refactor\"");
-      const auto open = text.find('{', key);
-      if (key != std::string::npos && open != std::string::npos) {
+      for (const char* keyname : {"pre_refactor", "host_pre_virtualization"}) {
+        const auto key = text.find("\"" + std::string(keyname) + "\"");
+        const auto open = text.find('{', key);
+        if (key == std::string::npos || open == std::string::npos) continue;
         // Balanced-brace scan that skips JSON string literals, so braces
         // inside the block's "note" text cannot truncate the extraction.
         int depth = 0;
@@ -547,7 +745,7 @@ int cmd_perfbench(const Args& a) {
           if (c == '"') in_string = true;
           else if (c == '{') ++depth;
           else if (c == '}' && --depth == 0) {
-            pre_refactor_block = text.substr(key, i + 1 - key);
+            kept_blocks.push_back(text.substr(key, i + 1 - key));
             break;
           }
         }
@@ -567,7 +765,7 @@ int cmd_perfbench(const Args& a) {
   std::snprintf(buf, sizeof buf, "%.3f", speedup_min);
   out << "  \"speedup_round_robin_no_observer_vs_single_step\": " << buf
       << ",\n";
-  if (!pre_refactor_block.empty()) out << "  " << pre_refactor_block << ",\n";
+  for (const auto& block : kept_blocks) out << "  " << block << ",\n";
   out << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
@@ -589,9 +787,25 @@ int cmd_perfbench(const Args& a) {
         << ", \"work\": " << r.work << ", \"work_per_sec\": " << buf << "}"
         << (i + 1 < wl_rows.size() ? "," : "") << "\n";
   }
+  out << "  ],\n";
+  out << "  \"host_rows\": [\n";
+  for (std::size_t i = 0; i < host_rows.size(); ++i) {
+    const auto& r = host_rows[i];
+    std::snprintf(buf, sizeof buf, "%.1f", r.work_per_sec);
+    out << "    {\"workload\": \"" << r.workload << "\", \"n\": " << r.n
+        << ", \"threads\": " << r.threads << ", \"policy\": \"" << r.policy
+        << "\", \"order\": \"" << r.order << "\", \"alpha\": " << r.alpha
+        << ", \"completed\": " << (r.completed ? "true" : "false")
+        << ", \"invariants_ok\": " << (r.ok ? "true" : "false")
+        << ", \"lost_commits\": " << r.lost
+        << ", \"repaired_commits\": " << r.repaired
+        << ", \"work\": " << r.work << ", \"work_per_sec\": " << buf << "}"
+        << (i + 1 < host_rows.size() ? "," : "") << "\n";
+  }
   out << "  ]\n}\n";
-  std::printf("wrote %s (%zu core + %zu workload configs)\n", out_path.c_str(),
-              rows.size(), wl_rows.size());
+  std::printf("wrote %s (%zu core + %zu workload + %zu host configs)\n",
+              out_path.c_str(), rows.size(), wl_rows.size(),
+              host_rows.size());
   return 0;
 }
 
@@ -694,7 +908,9 @@ int main(int argc, char** argv) {
       "[--key=value ...]\n"
       "  agree --n=64 --sched=uniform --seed=1 --beta=8\n"
       "  exec  --workload=NAME --n=8 --scheme=nondet|det --sched=uniform\n"
-      "        --seed=1 --engine=batched|single_step\n"
+      "        --seed=1 --engine=batched|single_step|host\n"
+      "        (host engine: --threads=T --interleave=rr|random|block\n"
+      "         --alpha=N --seq-cst; T=0 = one thread per processor)\n"
       "        (workloads: %s)\n"
       "  host  --threads=4 --seed=1\n"
       "  sweep --n=16,32,64 --sched=uniform,burst --seeds=3 --jobs=1 --beta=8\n"
