@@ -118,39 +118,49 @@ void ClobberAudit::roll_phase(sim::Word new_phase, std::uint64_t work_now) {
   true_phase_ = new_phase;
 }
 
-void ClobberAudit::on_step(const sim::StepEvent& ev) {
-  if (ev.op.kind != sim::Op::Kind::Write) return;
+void ClobberAudit::on_steps(std::span<const sim::StepEvent> evs) {
+  // Hoisted out of the per-event loop: the geometry filters (the bulk of a
+  // span is reads and locals, dismissed on the kind branch alone) and the
+  // clock threshold.  Phase state stays in members — roll_phase rewrites it.
+  const clockx::PhaseClock* const clock = clock_;
+  const BinArray* const bins = bins_;
+  const std::uint64_t threshold = clock->threshold();
 
-  if (clock_->owns(ev.op.addr)) {
-    // Track the exact number of increments without rescanning: each clock
-    // write stores before+1 when un-raced; a racy write can repeat a value
-    // (lost update), in which case the delta is <= 0 and total is unchanged.
-    if (ev.after.value > ev.before.value)
-      clock_total_ += ev.after.value - ev.before.value;
-    const sim::Word tick = clock_total_ / clock_->threshold();
-    if (tick + 1 != true_phase_) roll_phase(tick + 1, ev.time + 1);
-    return;
-  }
+  for (const sim::StepEvent& ev : evs) {
+    if (ev.op.kind != sim::Op::Kind::Write) continue;
 
-  if (!bins_->owns(ev.op.addr)) return;
-  const std::size_t i = bins_->bin_of(ev.op.addr);
-  const std::size_t j = bins_->cell_of(ev.op.addr);
-
-  if (ev.op.stamp == true_phase_) {
-    ever_written_[i][j] = 1;
-    filled_[i][j] = 1;
-    if (!has_value_[i][j]) {
-      has_value_[i][j] = 1;
-      first_value_[i][j] = ev.op.value;
-    } else if (first_value_[i][j] != ev.op.value) {
-      conflict_[i][j] = 1;
+    if (clock->owns(ev.op.addr)) {
+      // Track the exact number of increments without rescanning: each clock
+      // write stores before+1 when un-raced; a racy write can repeat a
+      // value (lost update), in which case the delta is <= 0 and total is
+      // unchanged.
+      if (ev.after.value > ev.before.value)
+        clock_total_ += ev.after.value - ev.before.value;
+      const sim::Word tick = clock_total_ / threshold;
+      if (tick + 1 != true_phase_) roll_phase(tick + 1, ev.time + 1);
+      continue;
     }
-  } else {
-    // A write carrying a non-current stamp: a tardy processor operating for
-    // an earlier phase.  That is a clobber of the current phase (it turns a
-    // current cell stale / creates a hole below the frontier).
-    current_.clobbers[i] += 1;
-    filled_[i][j] = 0;
+
+    if (!bins->owns(ev.op.addr)) continue;
+    const std::size_t i = bins->bin_of(ev.op.addr);
+    const std::size_t j = bins->cell_of(ev.op.addr);
+
+    if (ev.op.stamp == true_phase_) {
+      ever_written_[i][j] = 1;
+      filled_[i][j] = 1;
+      if (!has_value_[i][j]) {
+        has_value_[i][j] = 1;
+        first_value_[i][j] = ev.op.value;
+      } else if (first_value_[i][j] != ev.op.value) {
+        conflict_[i][j] = 1;
+      }
+    } else {
+      // A write carrying a non-current stamp: a tardy processor operating
+      // for an earlier phase.  That is a clobber of the current phase (it
+      // turns a current cell stale / creates a hole below the frontier).
+      current_.clobbers[i] += 1;
+      filled_[i][j] = 0;
+    }
   }
 }
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "agreement/bin_array.h"
@@ -76,7 +77,12 @@ class ClobberAudit final : public sim::StepObserver {
  public:
   ClobberAudit(const BinArray& bins, const clockx::PhaseClock& clock);
 
-  void on_step(const sim::StepEvent& ev) override;
+  /// Span-native (consumes only event fields + static geometry, so deferred
+  /// batch delivery is exact); on_step forwards as a span of one.
+  void on_step(const sim::StepEvent& ev) override {
+    on_steps(std::span<const sim::StepEvent>(&ev, 1));
+  }
+  void on_steps(std::span<const sim::StepEvent> evs) override;
 
   /// Reports for phases that have already ended.
   const std::vector<PhaseAudit>& finalized() const noexcept { return done_; }

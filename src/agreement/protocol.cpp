@@ -98,7 +98,13 @@ sim::SubTask<void> agreement_cycle(sim::Ctx& ctx, AgreementRuntime& rt,
   while (ctx.steps() - start_steps < omega) co_await ctx.local();
 
   rec.f_time = ctx.simulator().total_work();
-  if (rt.observer != nullptr) rt.observer->on_cycle(rec);
+  if (rt.observer != nullptr) {
+    // Out-of-band protocol event: deliver buffered step events first, so an
+    // observer consuming both streams (e.g. ClockOracle) sees them
+    // interleaved exactly as the single-step engine interleaves them.
+    ctx.simulator().flush_observers();
+    rt.observer->on_cycle(rec);
+  }
   co_return;
 }
 
@@ -131,8 +137,10 @@ sim::ProcTask agreement_proc(sim::Ctx& ctx, AgreementRuntime& rt) {
       const sim::Word new_phase = tick + 1;
       if (new_phase != phase) {
         phase = new_phase;
-        if (rt.observer != nullptr)
+        if (rt.observer != nullptr) {
+          ctx.simulator().flush_observers();  // see on_cycle below
           rt.observer->on_phase_enter(ctx.id(), phase);
+        }
       }
     }
     co_await agreement_cycle(ctx, rt, phase);

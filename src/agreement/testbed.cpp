@@ -62,6 +62,7 @@ AgreementTestbed::AgreementTestbed(TestbedConfig cfg, TaskFn task,
   sc.nprocs = cfg.n;
   sc.memory_words = 0;
   sc.seed = cfg.seed;
+  sc.engine = cfg.engine;
   apex::SeedTree seeds{cfg.seed};
   auto schedule = cfg.schedule_factory
                       ? cfg.schedule_factory(cfg.n, seeds.schedule())

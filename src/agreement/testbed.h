@@ -28,6 +28,9 @@ struct TestbedConfig {
   std::uint64_t seed = 1;
   sim::ScheduleKind schedule = sim::ScheduleKind::kUniformRandom;
   std::size_t compute_steps = 1;      ///< Step budget of the task function.
+  /// Grant engine for the underlying simulator (the fuzzer's engine-
+  /// equivalence corpus runs the same trial through both).
+  sim::GrantEngine engine = sim::GrantEngine::kBatched;
 
   /// When set, overrides `schedule`: called once with (nprocs, schedule-
   /// stream rng) to build the adversary.  The fuzzer uses this to drive the

@@ -50,6 +50,7 @@ TrialOutcome run_agreement_trial(const TrialSpec& spec, const FuzzConfig& cfg,
   tc.n = spec.n;
   tc.beta = spec.beta;
   tc.seed = spec.seed;
+  tc.engine = spec.engine;
   tc.schedule_factory = [&](std::size_t nprocs, apex::Rng rng) {
     auto inner = build_adversary(spec, nprocs, rng);
     if (spec.script == nullptr && spec.fuzzed)
@@ -116,6 +117,7 @@ TrialOutcome run_consensus_trial(const TrialSpec& spec,
   consensus::ScanConfig sc;
   sc.n = spec.n;
   sc.seed = spec.seed;
+  sc.engine = spec.engine;
   consensus::ScanConsensus scan(sc, agreement::uniform_task(kSupportMax),
                                 std::move(inner));
 
@@ -164,6 +166,7 @@ TrialOutcome run_workload_trial(const TrialSpec& spec, const FuzzConfig& cfg,
   const pram::Program prog = wl->make(spec.n);
   exec::ExecConfig ec;
   ec.seed = spec.seed;
+  ec.engine = spec.engine;
   ec.schedule_factory = [&](std::size_t nprocs, apex::Rng rng) {
     auto inner = build_adversary(spec, nprocs, rng);
     if (spec.script == nullptr && spec.fuzzed)

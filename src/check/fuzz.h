@@ -57,6 +57,10 @@ struct TrialSpec {
   const std::vector<std::size_t>* script = nullptr;  ///< Replay a grant trace.
   bool fuzzed = false;  ///< FuzzedSchedule(n, seed) adversary.
   sim::ScheduleKind kind = sim::ScheduleKind::kUniformRandom;
+  /// Grant engine the trial's simulator runs on.  The default is the
+  /// production engine; the engine-equivalence suite replays identical
+  /// specs on kSingleStep and asserts identical outcomes.
+  sim::GrantEngine engine = sim::GrantEngine::kBatched;
 };
 
 struct TrialOutcome {

@@ -35,14 +35,21 @@ std::vector<std::string> OracleSet::failing_oracles() const {
 // WorkAccountingOracle
 // ---------------------------------------------------------------------------
 
-void WorkAccountingOracle::on_step(const sim::StepEvent& ev) {
-  if (ev.time != events_)
-    fail("step event time " + std::to_string(ev.time) +
-         " != expected sequence index " + std::to_string(events_) +
-         " (work charged without an observed grant)");
-  ++events_;
-  if (ev.proc >= per_proc_.size()) per_proc_.resize(ev.proc + 1, 0);
-  per_proc_[ev.proc] += 1;
+void WorkAccountingOracle::on_steps(std::span<const sim::StepEvent> evs) {
+  // Hoist the expected sequence index: within a span the gapless check is
+  // a pure local increment.
+  std::uint64_t expect = events_;
+  for (const sim::StepEvent& ev : evs) {
+    if (ev.time != expect) [[unlikely]]
+      fail("step event time " + std::to_string(ev.time) +
+           " != expected sequence index " + std::to_string(expect) +
+           " (work charged without an observed grant)");
+    ++expect;
+    if (ev.proc >= per_proc_.size()) [[unlikely]]
+      per_proc_.resize(ev.proc + 1, 0);
+    per_proc_[ev.proc] += 1;
+  }
+  events_ = expect;
 }
 
 void WorkAccountingOracle::on_finish(const sim::Simulator& sim) {
@@ -79,45 +86,59 @@ ClockOracle::ClockOracle(const clockx::PhaseClock& clock, std::size_t nprocs,
   pending_.assign(nprocs, PendingRead{});
 }
 
-void ClockOracle::on_step(const sim::StepEvent& ev) {
-  // Record the true tick at each processor step BEFORE applying the step,
-  // so window_[p] brackets the slot values any in-flight read sampled.
-  if (ev.proc < window_.size()) {
-    auto& ring = window_[ev.proc];
-    ring[wpos_[ev.proc]] = total_ / clock_->threshold();
-    wpos_[ev.proc] = (wpos_[ev.proc] + 1) % ring.size();
-    wlen_[ev.proc] = std::min(wlen_[ev.proc] + 1, ring.size());
+void ClockOracle::on_steps(std::span<const sim::StepEvent> evs) {
+  // Hoisted out of the per-event loop: the clock geometry (threshold,
+  // ownership test) and the running update total — the ring bookkeeping
+  // divides by the threshold on EVERY event, so keeping `total` and
+  // `threshold` in registers is the win here.
+  const clockx::PhaseClock* const clock = clock_;
+  const std::uint64_t threshold = clock->threshold();
+  const std::size_t nprocs = window_.size();
+  std::uint64_t total = total_;
+
+  for (const sim::StepEvent& ev : evs) {
+    // Record the true tick at each processor step BEFORE applying the step,
+    // so window_[p] brackets the slot values any in-flight read sampled.
+    if (ev.proc < nprocs) {
+      auto& ring = window_[ev.proc];
+      std::size_t& wp = wpos_[ev.proc];
+      ring[wp] = total / threshold;
+      wp = (wp + 1) % ring.size();
+      wlen_[ev.proc] = std::min(wlen_[ev.proc] + 1, ring.size());
+    }
+
+    if (!clock->owns(ev.op.addr)) continue;
+
+    // An update is a read-then-write pair by one processor on one slot: the
+    // write must store exactly (the value that processor just read) + 1.
+    // NOTE the slot itself may move between the two halves (concurrent
+    // updates race; a lost update can even lower it), so comparing the
+    // write against the slot's current content is NOT sound — only against
+    // the writer's own read.
+    if (ev.op.kind == sim::Op::Kind::Read) {
+      if (ev.proc < pending_.size())
+        pending_[ev.proc] = PendingRead{true, ev.op.addr, ev.before.value};
+      continue;
+    }
+    if (ev.op.kind != sim::Op::Kind::Write) continue;
+    if (ev.proc < pending_.size()) {
+      const PendingRead p = pending_[ev.proc];
+      pending_[ev.proc].valid = false;
+      if (!p.valid || p.addr != ev.op.addr)
+        fail("proc " + std::to_string(ev.proc) +
+             " wrote clock slot addr " + std::to_string(ev.op.addr) +
+             " without reading it first (Update-Clock is read-then-write)");
+      else if (ev.op.value != p.value + 1)
+        fail("proc " + std::to_string(ev.proc) + " read clock slot value " +
+             std::to_string(p.value) + " but wrote " +
+             std::to_string(ev.op.value) +
+             " (Update-Clock must add exactly 1)");
+    }
+    if (ev.after.value > ev.before.value)
+      total += ev.after.value - ev.before.value;
   }
 
-  if (!clock_->owns(ev.op.addr)) return;
-
-  // An update is a read-then-write pair by one processor on one slot: the
-  // write must store exactly (the value that processor just read) + 1.
-  // NOTE the slot itself may move between the two halves (concurrent
-  // updates race; a lost update can even lower it), so comparing the write
-  // against the slot's current content is NOT sound — only against the
-  // writer's own read.
-  if (ev.op.kind == sim::Op::Kind::Read) {
-    if (ev.proc < pending_.size())
-      pending_[ev.proc] = PendingRead{true, ev.op.addr, ev.before.value};
-    return;
-  }
-  if (ev.op.kind != sim::Op::Kind::Write) return;
-  if (ev.proc < pending_.size()) {
-    const PendingRead p = pending_[ev.proc];
-    pending_[ev.proc].valid = false;
-    if (!p.valid || p.addr != ev.op.addr)
-      fail("proc " + std::to_string(ev.proc) +
-           " wrote clock slot addr " + std::to_string(ev.op.addr) +
-           " without reading it first (Update-Clock is read-then-write)");
-    else if (ev.op.value != p.value + 1)
-      fail("proc " + std::to_string(ev.proc) + " read clock slot value " +
-           std::to_string(p.value) + " but wrote " +
-           std::to_string(ev.op.value) +
-           " (Update-Clock must add exactly 1)");
-  }
-  if (ev.after.value > ev.before.value)
-    total_ += ev.after.value - ev.before.value;
+  total_ = total;
 }
 
 void ClockOracle::on_phase_enter(std::size_t proc, sim::Word phase) {
@@ -159,44 +180,52 @@ BinArrayOracle::BinArrayOracle(const agreement::BinArray& bins,
   history_.resize(bins.bins() * bins.cells_per_bin());
 }
 
-void BinArrayOracle::on_step(const sim::StepEvent& ev) {
-  if (ev.op.kind != sim::Op::Kind::Write || !bins_->owns(ev.op.addr)) return;
-  const std::size_t bin = bins_->bin_of(ev.op.addr);
-  const std::size_t cell = bins_->cell_of(ev.op.addr);
-  const sim::Word stamp = ev.op.stamp;
-  const sim::Word value = ev.op.value;
+void BinArrayOracle::on_steps(std::span<const sim::StepEvent> evs) {
+  // Most steps are not bin writes: hoist the ownership filter's operands so
+  // the common case is a compare-and-skip with no pointer chasing.
+  const agreement::BinArray* const bins = bins_;
+  const std::size_t cells_per_bin = bins->cells_per_bin();
 
-  if (stamp == 0) {
-    fail("bin " + std::to_string(bin) + " cell " + std::to_string(cell) +
-         " written with stamp 0 (bin cells must carry a phase stamp)");
-    return;
-  }
-  if (support_ && !support_(bin, value))
-    fail("bin " + std::to_string(bin) + " cell " + std::to_string(cell) +
-         " written with value " + std::to_string(value) +
-         " outside the support of f_i");
+  for (const sim::StepEvent& ev : evs) {
+    if (ev.op.kind != sim::Op::Kind::Write || !bins->owns(ev.op.addr))
+      continue;
+    const std::size_t bin = bins->bin_of(ev.op.addr);
+    const std::size_t cell = bins->cell_of(ev.op.addr);
+    const sim::Word stamp = ev.op.stamp;
+    const sim::Word value = ev.op.value;
 
-  if (cell > 0) {
-    // Copy provenance: the value must have been observed in cell-1 with the
-    // same stamp at some earlier step, otherwise the Fig. 2 re-read rule
-    // (never give a stale value a current stamp) was skipped.
-    const auto& prev = history_[bin * bins_->cells_per_bin() + cell - 1];
-    const auto it = prev.find(stamp);
-    const bool ok =
-        it != prev.end() &&
-        std::find(it->second.begin(), it->second.end(), value) !=
-            it->second.end();
-    if (!ok)
+    if (stamp == 0) {
       fail("bin " + std::to_string(bin) + " cell " + std::to_string(cell) +
-           " copied value " + std::to_string(value) + " stamp " +
-           std::to_string(stamp) +
-           " which cell " + std::to_string(cell - 1) +
-           " never held under that stamp (copy-forward provenance)");
-  }
+           " written with stamp 0 (bin cells must carry a phase stamp)");
+      continue;
+    }
+    if (support_ && !support_(bin, value))
+      fail("bin " + std::to_string(bin) + " cell " + std::to_string(cell) +
+           " written with value " + std::to_string(value) +
+           " outside the support of f_i");
 
-  auto& vals = history_[bin * bins_->cells_per_bin() + cell][stamp];
-  if (std::find(vals.begin(), vals.end(), value) == vals.end())
-    vals.push_back(value);
+    if (cell > 0) {
+      // Copy provenance: the value must have been observed in cell-1 with
+      // the same stamp at some earlier step, otherwise the Fig. 2 re-read
+      // rule (never give a stale value a current stamp) was skipped.
+      const auto& prev = history_[bin * cells_per_bin + cell - 1];
+      const auto it = prev.find(stamp);
+      const bool ok =
+          it != prev.end() &&
+          std::find(it->second.begin(), it->second.end(), value) !=
+              it->second.end();
+      if (!ok)
+        fail("bin " + std::to_string(bin) + " cell " + std::to_string(cell) +
+             " copied value " + std::to_string(value) + " stamp " +
+             std::to_string(stamp) +
+             " which cell " + std::to_string(cell - 1) +
+             " never held under that stamp (copy-forward provenance)");
+    }
+
+    auto& vals = history_[bin * cells_per_bin + cell][stamp];
+    if (std::find(vals.begin(), vals.end(), value) == vals.end())
+      vals.push_back(value);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -212,29 +241,41 @@ ClobberOracle::ClobberOracle(const agreement::BinArray& bins,
   clobbers_.assign(bins.bins(), 0);
 }
 
-void ClobberOracle::on_step(const sim::StepEvent& ev) {
-  if (ev.op.kind != sim::Op::Kind::Write) return;
+void ClobberOracle::on_steps(std::span<const sim::StepEvent> evs) {
+  // Hoisted: both ownership filters, the clock threshold, and the running
+  // phase state — reads and locals (the bulk of every span) fall through on
+  // one branch.
+  const clockx::PhaseClock* const clock = clock_;
+  const agreement::BinArray* const bins = bins_;
+  const std::uint64_t threshold = clock->threshold();
+  sim::Word true_phase = true_phase_;
 
-  if (clock_->owns(ev.op.addr)) {
-    if (ev.after.value > ev.before.value)
-      total_ += ev.after.value - ev.before.value;
-    const sim::Word tick = total_ / clock_->threshold();
-    if (tick + 1 != true_phase_) {
-      true_phase_ = tick + 1;
-      std::fill(clobbers_.begin(), clobbers_.end(), 0);
+  for (const sim::StepEvent& ev : evs) {
+    if (ev.op.kind != sim::Op::Kind::Write) continue;
+
+    if (clock->owns(ev.op.addr)) {
+      if (ev.after.value > ev.before.value)
+        total_ += ev.after.value - ev.before.value;
+      const sim::Word tick = total_ / threshold;
+      if (tick + 1 != true_phase) {
+        true_phase = tick + 1;
+        std::fill(clobbers_.begin(), clobbers_.end(), 0);
+      }
+      continue;
     }
-    return;
+
+    if (!bins->owns(ev.op.addr)) continue;
+    if (ev.op.stamp == true_phase) continue;
+    const std::size_t bin = bins->bin_of(ev.op.addr);
+    const std::uint32_t c = ++clobbers_[bin];
+    max_observed_ = std::max(max_observed_, c);
+    if (c == bound_ + 1)  // report once per (bin, phase)
+      fail("bin " + std::to_string(bin) + " suffered " + std::to_string(c) +
+           " clobbers in true phase " + std::to_string(true_phase) +
+           " (Lemma 1 cap is " + std::to_string(bound_) + ")");
   }
 
-  if (!bins_->owns(ev.op.addr)) return;
-  if (ev.op.stamp == true_phase_) return;
-  const std::size_t bin = bins_->bin_of(ev.op.addr);
-  const std::uint32_t c = ++clobbers_[bin];
-  max_observed_ = std::max(max_observed_, c);
-  if (c == bound_ + 1)  // report once per (bin, phase)
-    fail("bin " + std::to_string(bin) + " suffered " + std::to_string(c) +
-         " clobbers in true phase " + std::to_string(true_phase_) +
-         " (Lemma 1 cap is " + std::to_string(bound_) + ")");
+  true_phase_ = true_phase;
 }
 
 // ---------------------------------------------------------------------------
@@ -246,19 +287,24 @@ ConsensusOracle::ConsensusOracle(const consensus::ScanConsensus& sc)
   proposals_.assign(n_, std::vector<std::optional<sim::Word>>(n_));
 }
 
-void ConsensusOracle::on_step(const sim::StepEvent& ev) {
-  if (ev.op.kind != sim::Op::Kind::Write) return;
-  if (ev.op.addr < base_ || ev.op.addr >= base_ + n_ * n_) return;
-  const std::size_t idx = (ev.op.addr - base_) / n_;
-  const std::size_t owner = (ev.op.addr - base_) % n_;
-  if (ev.proc != owner)
-    fail("proc " + std::to_string(ev.proc) + " wrote register R[" +
-         std::to_string(idx) + "][" + std::to_string(owner) +
-         "] it does not own (single-writer violated)");
-  if (ev.before.stamp != 0)
-    fail("register R[" + std::to_string(idx) + "][" + std::to_string(owner) +
-         "] written twice (write-once violated)");
-  proposals_[idx][owner] = ev.op.value;
+void ConsensusOracle::on_steps(std::span<const sim::StepEvent> evs) {
+  const std::size_t base = base_;
+  const std::size_t n = n_;
+  const std::size_t limit = base + n * n;
+  for (const sim::StepEvent& ev : evs) {
+    if (ev.op.kind != sim::Op::Kind::Write) continue;
+    if (ev.op.addr < base || ev.op.addr >= limit) continue;
+    const std::size_t idx = (ev.op.addr - base) / n;
+    const std::size_t owner = (ev.op.addr - base) % n;
+    if (ev.proc != owner)
+      fail("proc " + std::to_string(ev.proc) + " wrote register R[" +
+           std::to_string(idx) + "][" + std::to_string(owner) +
+           "] it does not own (single-writer violated)");
+    if (ev.before.stamp != 0)
+      fail("register R[" + std::to_string(idx) + "][" + std::to_string(owner) +
+           "] written twice (write-once violated)");
+    proposals_[idx][owner] = ev.op.value;
+  }
 }
 
 void ConsensusOracle::on_finish(const sim::Simulator&) {

@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,11 +48,22 @@
 namespace apex::check {
 
 /// Base class: a named checker accumulating failure messages.
+///
+/// Oracles are span-native: subclasses implement observation ONCE, in
+/// on_steps (hoisting per-event state out of the loop); per-step delivery
+/// (single-step engine, unit tests) forwards through the base as a span of
+/// one.  An oracle consumes only StepEvent fields plus its static config —
+/// never live simulator state — so deferred span delivery is exact.
 class Oracle : public sim::StepObserver, public agreement::AgreementObserver {
  public:
   virtual const char* name() const noexcept = 0;
 
-  void on_step(const sim::StepEvent&) override {}
+  void on_step(const sim::StepEvent& ev) final {
+    on_steps(std::span<const sim::StepEvent>(&ev, 1));
+  }
+
+  /// Span-native observation hook; default ignores steps.
+  void on_steps(std::span<const sim::StepEvent>) override {}
 
   /// End-of-run checks (totals, decisions).  `sim` is the finished run.
   virtual void on_finish(const sim::Simulator& sim) { (void)sim; }
@@ -77,7 +89,10 @@ class OracleSet final : public sim::StepObserver,
   void add(Oracle* o) { list_.push_back(o); }
 
   void on_step(const sim::StepEvent& ev) override {
-    for (auto* o : list_) o->on_step(ev);
+    on_steps(std::span<const sim::StepEvent>(&ev, 1));
+  }
+  void on_steps(std::span<const sim::StepEvent> evs) override {
+    for (auto* o : list_) o->on_steps(evs);
   }
   void on_cycle(const agreement::CycleRecord& r) override {
     for (auto* o : list_) o->on_cycle(r);
@@ -117,7 +132,7 @@ class OracleSet final : public sim::StepObserver,
 class WorkAccountingOracle final : public Oracle {
  public:
   const char* name() const noexcept override { return "work_accounting"; }
-  void on_step(const sim::StepEvent& ev) override;
+  void on_steps(std::span<const sim::StepEvent> evs) override;
   void on_finish(const sim::Simulator& sim) override;
 
  private:
@@ -135,7 +150,7 @@ class ClockOracle final : public Oracle {
               std::uint64_t skew_ticks = 2);
 
   const char* name() const noexcept override { return "phase_clock"; }
-  void on_step(const sim::StepEvent& ev) override;
+  void on_steps(std::span<const sim::StepEvent> evs) override;
   void on_phase_enter(std::size_t proc, sim::Word phase) override;
 
  private:
@@ -165,7 +180,7 @@ class BinArrayOracle final : public Oracle {
                  agreement::SupportFn support);
 
   const char* name() const noexcept override { return "bin_array"; }
-  void on_step(const sim::StepEvent& ev) override;
+  void on_steps(std::span<const sim::StepEvent> evs) override;
 
  private:
   const agreement::BinArray* bins_;
@@ -191,7 +206,7 @@ class ClobberOracle final : public Oracle {
   }
 
   const char* name() const noexcept override { return "clobber_bound"; }
-  void on_step(const sim::StepEvent& ev) override;
+  void on_steps(std::span<const sim::StepEvent> evs) override;
 
   std::uint32_t max_observed() const noexcept { return max_observed_; }
 
@@ -210,7 +225,7 @@ class ConsensusOracle final : public Oracle {
   explicit ConsensusOracle(const consensus::ScanConsensus& sc);
 
   const char* name() const noexcept override { return "consensus"; }
-  void on_step(const sim::StepEvent& ev) override;
+  void on_steps(std::span<const sim::StepEvent> evs) override;
   void on_finish(const sim::Simulator& sim) override;
 
  private:

@@ -13,8 +13,9 @@ ScanConsensus::ScanConsensus(ScanConfig cfg, agreement::TaskFn task,
   apex::SeedTree seeds{cfg.seed};
   if (!schedule)
     schedule = sim::make_schedule(cfg.schedule, cfg.n, seeds.schedule());
-  sim_ = std::make_unique<sim::Simulator>(sim::SimConfig{cfg.n, 0, cfg.seed},
-                                          std::move(schedule));
+  sim::SimConfig sc{cfg.n, 0, cfg.seed};
+  sc.engine = cfg.engine;
+  sim_ = std::make_unique<sim::Simulator>(sc, std::move(schedule));
   reg_base_ = sim_->memory().extend(cfg.n * cfg.n);
   decisions_.assign(cfg.n,
                     std::vector<std::optional<sim::Word>>(cfg.n, std::nullopt));

@@ -37,6 +37,9 @@ struct ScanConfig {
   std::size_t n = 0;          ///< Processors = values.
   std::uint64_t seed = 1;
   sim::ScheduleKind schedule = sim::ScheduleKind::kUniformRandom;
+  /// Grant engine for the underlying simulator (the fuzzer's engine-
+  /// equivalence corpus runs the same trial through both).
+  sim::GrantEngine engine = sim::GrantEngine::kBatched;
 };
 
 /// Runs n processors agreeing on n values with the read-all baseline.

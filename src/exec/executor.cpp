@@ -208,6 +208,12 @@ struct Executor::Impl {
   /// violation instead of being laundered by reading the final slot back.
   struct Monitor final : public sim::StepObserver {
     Impl* im = nullptr;
+
+    /// The subphase audits re-read LIVE memory cells (audit_commits) at
+    /// exact step positions, so deferred span delivery would audit a
+    /// different memory state: demand per-step delivery from the batched
+    /// engine.
+    bool step_synchronous() const noexcept override { return true; }
     std::uint64_t clock_total = 0;
     std::uint64_t tick = 0;
     std::vector<std::vector<pram::Word>> produced;

@@ -6,16 +6,45 @@
 // attach side by side via Simulator::add_observer instead of fighting over a
 // single slot.
 //
+// Delivery contract (batched engine).  The instrumented grant path fills a
+// batch event buffer inline in the step awaiters — no per-step virtual
+// calls, no per-step checked access — and flushes it as on_steps(span)
+// calls down the chain at batch boundaries: sub-batch capacity (the buffer
+// is kept L1-sized), stop-predicate checks, work caps, run() end, mid-batch
+// exits (stop request, last processor finishing) and before any exception
+// propagates out of run().
+// What an observer may assume:
+//   * every executed step is delivered exactly once, in execution order,
+//     with the same StepEvent contents the pre-batching engine delivered;
+//   * span boundaries are arbitrary (anything from 1 event up to the
+//     engine's event-buffer capacity) and carry no meaning — never encode
+//     protocol state in them;
+//   * delivery happens before any stop predicate the driver polls, so
+//     predicates that read observer state see every event up to the poll;
+//   * events are delivered AFTER the fact: simulator/memory state at
+//     on_steps time is the state at the END of the span, not at each step.
+// An observer that must see live state at the exact step (e.g. an auditor
+// that re-reads memory cells per event) overrides step_synchronous() to
+// return true: the engine then calls its on_step at every step, at the same
+// point the pre-batching engine did, while the rest of the chain still gets
+// batched spans.
+//
+// The single-step reference engine always delivers per-step on_step calls
+// down the whole chain (the genuine pre-batching behavior).
+//
 // Performance contract: the batched grant engine selects, once per run(),
-// between an instrumented grant path (builds a StepEvent per step, delivers
-// it down the chain) and a no-observer fast path (no event construction at
-// all).  Attaching any observer therefore switches the WHOLE run to the
-// instrumented path; detach before time-critical runs.
+// between the instrumented path above and a no-observer fast path (no event
+// construction at all).  Attaching any observer switches the WHOLE run to
+// the instrumented path; detach before time-critical runs.  Span-native
+// observers should override on_steps and hoist per-event state out of the
+// loop; the default on_steps forwards to on_step so existing observers keep
+// working unchanged.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sim/proc.h"
@@ -23,21 +52,31 @@
 
 namespace apex::sim {
 
-/// One executed atomic step, as seen by an observer.
-struct StepEvent {
-  std::uint64_t time = 0;   ///< Global step index (work units so far - 1).
-  std::size_t proc = 0;
-  Op op{};
-  Cell before{};            ///< Cell content before the op (reads: == after).
-  Cell after{};             ///< Cell content after the op.
-};
+// struct StepEvent lives in proc.h (the instrumented batched engine fills
+// events inline in the step awaiters); re-exported here, where its consumers
+// look for it.
 
 /// Out-of-band observer.  Hooks run outside the model: they cost no work and
 /// must not mutate memory.  Used by the Lemma inspectors and the oracles.
 class StepObserver {
  public:
   virtual ~StepObserver() = default;
+
+  /// One step.  The single-step engine and synchronous delivery call this
+  /// per step; the default on_steps below also lands here.
   virtual void on_step(const StepEvent& ev) = 0;
+
+  /// A batch of consecutive steps in execution order (see the delivery
+  /// contract above).  Override for span-native consumption; the default
+  /// loop keeps per-step observers working unchanged.
+  virtual void on_steps(std::span<const StepEvent> evs) {
+    for (const StepEvent& ev : evs) on_step(ev);
+  }
+
+  /// Return true to demand per-step delivery at the exact step time even
+  /// under the batched engine (for observers that read live simulator or
+  /// memory state from on_step).  Checked once per run().
+  virtual bool step_synchronous() const noexcept { return false; }
 };
 
 /// Ordered fan-out chain.  Delivery order is registration order, and the
@@ -57,8 +96,24 @@ class CompositeObserver final : public StepObserver {
   bool empty() const noexcept { return list_.empty(); }
   std::size_t size() const noexcept { return list_.size(); }
 
+  /// The attached observers, in registration (= delivery) order.  The
+  /// batched engine partitions them per run() by step_synchronous().
+  const std::vector<StepObserver*>& members() const noexcept { return list_; }
+
   void on_step(const StepEvent& ev) override {
     for (auto* o : list_) o->on_step(ev);
+  }
+
+  void on_steps(std::span<const StepEvent> evs) override {
+    for (auto* o : list_) o->on_steps(evs);
+  }
+
+  /// A chain is synchronous if any member is: a nested composite with one
+  /// synchronous member keeps exact-step delivery for the whole sub-chain.
+  bool step_synchronous() const noexcept override {
+    for (auto* o : list_)
+      if (o->step_synchronous()) return true;
+    return false;
   }
 
  private:

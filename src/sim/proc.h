@@ -38,6 +38,17 @@ struct Op {
   Word stamp = 0;  ///< Write: stamp to store.
 };
 
+/// One executed atomic step, as seen by an observer (see observer.h for the
+/// delivery contract).  Defined here because the instrumented batched engine
+/// fills events INLINE in the step awaiters below.
+struct StepEvent {
+  std::uint64_t time = 0;   ///< Global step index (work units so far - 1).
+  std::size_t proc = 0;
+  Op op{};
+  Cell before{};            ///< Cell content before the op (reads: == after).
+  Cell after{};             ///< Cell content after the op.
+};
+
 
 /// Coroutine handle type for a top-level processor program.
 class ProcTask {
@@ -101,15 +112,23 @@ class Ctx {
   // kind.  Each yields the Cell the operation observed (reads) or stored
   // (writes); Local yields {}.
   //
-  // Execution has two modes, selected once per Simulator::run():
-  //   * instrumented (fast_cells_ == nullptr): the awaiter records the op
-  //     in ctx->pending_; the scheduler loop executes it against checked
-  //     memory, reports it to the observer chain, and leaves the result in
-  //     ctx->result_.
-  //   * fast (fast_cells_ set): the awaiter executes the op INLINE at
-  //     suspension — still inside the granting step, before any other
-  //     processor runs, so the atomic point is identical — against the raw
-  //     cell array, and keeps the result in its own frame.
+  // Execution has three modes, selected once per Simulator::run():
+  //   * classic (fast_cells_ == nullptr): the awaiter records the op in
+  //     ctx->pending_; the scheduler loop executes it against checked
+  //     memory, reports it to the observer chain per step, and leaves the
+  //     result in ctx->result_.  This is the single-step reference engine's
+  //     mode (the genuine pre-batching shape).
+  //   * fast (fast_cells_ set, ev_cur_ null): the awaiter executes the op
+  //     INLINE at suspension — still inside the granting step, before any
+  //     other processor runs, so the atomic point is identical — against
+  //     the raw cell array, and keeps the result in its own frame.
+  //   * instrumented batched (fast_cells_ AND ev_cur_ set): like fast, but
+  //     the awaiter additionally fills the scheduler's current StepEvent
+  //     slot (*ev_cur_ points at the next free entry of the batch event
+  //     buffer; the scheduler pre-fills time/proc and advances it).  An
+  //     out-of-range address is NOT executed: the awaiter flags the fault
+  //     and the scheduler throws std::out_of_range for that grant, exactly
+  //     where checked Memory::at would have.
   // The `inline_exec` flag remembers which mode produced the result, so a
   // step suspended under one mode resumes correctly under the other.
   //
@@ -129,8 +148,21 @@ class Ctx {
       Ctx* const c = ctx;
       *c->resume_slot_ = h;
       if (Cell* const cells = c->fast_cells_) {
-        assert(addr < c->fast_words_);
-        result = cells[addr];
+        if (StepEvent* const* const es = c->ev_cur_) {
+          if (addr >= c->fast_words_) [[unlikely]] {
+            c->flag_oob(addr);
+            return;  // not executed, not charged; the scheduler faults
+          }
+          const Cell cv = cells[addr];
+          StepEvent& e = **es;
+          e.op = Op{Op::Kind::Read, addr, 0, 0};
+          e.before = cv;
+          e.after = cv;
+          result = cv;
+        } else {
+          assert(addr < c->fast_words_);
+          result = cells[addr];
+        }
         c->steps_ += 1;
         inline_exec = true;
       } else {
@@ -154,8 +186,21 @@ class Ctx {
       Ctx* const c = ctx;
       *c->resume_slot_ = h;
       if (Cell* const cells = c->fast_cells_) {
-        assert(addr < c->fast_words_);
-        cells[addr] = Cell{value, stamp};
+        if (StepEvent* const* const es = c->ev_cur_) {
+          if (addr >= c->fast_words_) [[unlikely]] {
+            c->flag_oob(addr);
+            return;  // not executed, not charged; the scheduler faults
+          }
+          StepEvent& e = **es;
+          e.op = Op{Op::Kind::Write, addr, value, stamp};
+          e.before = cells[addr];
+          const Cell cv{value, stamp};
+          cells[addr] = cv;
+          e.after = cv;
+        } else {
+          assert(addr < c->fast_words_);
+          cells[addr] = Cell{value, stamp};
+        }
         c->steps_ += 1;
         inline_exec = true;
       } else {
@@ -176,6 +221,12 @@ class Ctx {
       Ctx* const c = ctx;
       *c->resume_slot_ = h;
       if (c->fast_cells_ != nullptr) {
+        if (StepEvent* const* const es = c->ev_cur_) {
+          StepEvent& e = **es;
+          e.op = Op{Op::Kind::Local, 0, 0, 0};
+          e.before = Cell{};
+          e.after = Cell{};
+        }
         if (c->charge_local_twice_) [[unlikely]] c->bump_extra_work();
         c->steps_ += 1;
         inline_exec = true;
@@ -226,6 +277,11 @@ class Ctx {
   /// Out of line — needs the Simulator definition.
   void bump_extra_work() noexcept;
 
+  /// Instrumented-mode fault hook: report an out-of-range address to the
+  /// simulator (the op is not executed; the scheduler throws for this
+  /// grant).  Out of line — needs the Simulator definition.
+  void flag_oob(std::size_t addr) noexcept;
+
   // Field order is deliberate: the first block is everything a fast-mode
   // step suspension touches (see the awaiters above), packed into one cache
   // line at the front of the object.
@@ -234,10 +290,13 @@ class Ctx {
   // at the first run()): the handle to resume on the next grant, or null
   // once the processor has finished.  Non-null fast_cells_ switches the
   // awaiters to inline execution against the raw cell array (stable for
-  // the duration of a run); both are (re)set by the Simulator per run().
+  // the duration of a run); non-null ev_cur_ additionally points at the
+  // Simulator's current-event cursor (instrumented batched runs).  All are
+  // (re)set by the Simulator per run().
   std::coroutine_handle<>* resume_slot_ = nullptr;
   Cell* fast_cells_ = nullptr;
   std::size_t fast_words_ = 0;
+  StepEvent* const* ev_cur_ = nullptr;
   std::uint64_t steps_ = 0;  ///< Granted steps (work units) so far.
   bool charge_local_twice_ = false;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <span>
+#include <string>
 
 #include "check/mutation.h"
 
@@ -14,6 +15,17 @@ namespace {
 /// kGrantBatch grants amortizes dispatch to noise; leftovers persist in the
 /// simulator's buffer, so a deep prefetch never changes what executes.
 constexpr std::size_t kGrantBatch = 1024;
+
+/// Event sub-batch: the instrumented engine delivers at most this many
+/// StepEvents per on_steps span.  Sized so the buffer (kEventBatch *
+/// sizeof(StepEvent) = 10 KB) stays comfortably L1-resident — at a full
+/// kGrantBatch of 80-byte events the buffer alone is 80 KB, and every event
+/// is written by the awaiter then re-read by the flush, so an L2-sized
+/// buffer costs several ns per step in pure cache traffic (measured: 128 ->
+/// ~108M instrumented steps/s, 256 -> ~100M, 512 -> ~80M, 1024 -> ~75M on
+/// the bench box).  Span boundaries carry no semantics (see observer.h), so
+/// the split is observable only as smaller spans.
+constexpr std::size_t kEventBatch = 128;
 
 }  // namespace
 
@@ -158,26 +170,147 @@ void Simulator::validate_grants(std::size_t from) {
   }
 }
 
-void Simulator::consume_batch(std::size_t end, bool double_charge,
-                              bool poll_on_dead, RunResult& res) {
-  const std::uint64_t work0 = res.work;
-  while (buf_pos_ < end) {
-    const std::size_t p = grant_buf_[buf_pos_++];
-    ++tick_;
-    if (p >= procs_.size()) [[unlikely]]
-      throw std::logic_error("Simulator: schedule granted unknown proc");
-    if (!grant_instrumented(p, double_charge)) [[unlikely]] {
-      charge_starvation(tick_ - 1);
-      if (poll_on_dead && res.work == work0) return;
-      continue;
+void Simulator::consume_batch_instr(std::size_t end, bool double_charge,
+                                    bool poll_on_dead, RunResult& res) {
+  // The instrumented twin of consume_batch_fast below: same loop structure,
+  // same register discipline, but each live grant's awaiter additionally
+  // fills the current slot of the batch event buffer (through ev_cur_; the
+  // loop pre-fills time/proc and advances the slot).  Delivery is deferred:
+  // one on_steps(span) per kEventBatch events (and one for the remainder at
+  // every exit of this function) down the deferred part of the chain — so
+  // every executed step is delivered exactly once, in order, before any
+  // stop-predicate poll and before any exception escapes.  Observers that demanded exact-step delivery
+  // (step_synchronous) get per-step on_step calls at the same point the
+  // single-step engine makes them.
+  const std::uint32_t* const buf = grant_buf_.data();
+  std::coroutine_handle<>* const slots = resume_slots_.data();
+  StepEvent* const evs = event_buf_.data();
+  StepEvent* const evs_cap = evs + event_buf_.size();
+  StepObserver* const* const sync = sync_obs_.data();
+  const std::size_t nsync = sync_obs_.size();
+  if (bad_grant_at_ < buf_pos_) [[unlikely]] validate_grants(buf_pos_);
+  const std::size_t safe_end = std::min(end, bad_grant_at_);
+  const std::size_t pos0 = buf_pos_;
+  std::size_t pos = pos0;
+  // Grants consumed but charged no work: dead (finished-proc) grants plus
+  // at most one trailing faulted grant (unknown proc / out-of-range
+  // address — its tick is consumed, its work is not, its event is never
+  // built; the single-step engine accounts faults the same way).
+  std::uint64_t deads = 0;
+
+  const auto flush = [&]() {
+    buf_pos_ = pos;
+    tick_ += pos - pos0;
+    res.work += (pos - pos0) - deads;
+    flush_observers();
+    // Batch done, nothing mid-flight: recycle the buffer.
+    ev_next_ = evs;
+    ev_flushed_ = evs;
+  };
+
+  bool exhausted = true;
+  try {
+    while (pos < safe_end) {
+      const std::size_t p = buf[pos];
+      ++pos;
+      const std::coroutine_handle<> h = slots[p];
+      if (!h) [[unlikely]] {
+        // Null slot = finished processor (spawn() invariant): no event.
+        ++deads;
+        charge_starvation(tick_ + (pos - 1 - pos0));
+        if (poll_on_dead && pos - pos0 == deads) {
+          exhausted = false;
+          break;
+        }
+        continue;
+      }
+      // Pre-fill the current event slot; the awaiter fills op/before/after
+      // through ev_next_ during the resume.  A protocol-hook flush inside
+      // the resume delivers [ev_flushed_, ev_next_) — everything up to the
+      // previous completed step — exactly as the single-step engine had at
+      // that point.
+      StepEvent* const e = ev_next_;
+      e->time = work_;
+      e->proc = p;
+      slots[p] = {};
+      h.resume();
+
+      if (!slots[p]) [[unlikely]] {
+        ProcState& ps = procs_[p];
+        const auto top = ps.task.handle();
+        if (top.promise().exception) [[unlikely]]
+          std::rethrow_exception(top.promise().exception);
+        // No awaiter ran: the final resume is the processor's halting Local
+        // step — account it and eventize it here.
+        ps.finished = true;
+        --alive_;
+        ps.ctx->steps_ += 1;
+        e->op = Op{Op::Kind::Local, 0, 0, 0};
+        e->before = Cell{};
+        e->after = Cell{};
+        ev_next_ = e + 1;
+        work_ += 1;
+        if (double_charge) [[unlikely]] work_ += 1;  // final resume is Local
+        for (std::size_t i = 0; i < nsync; ++i) sync[i]->on_step(*e);
+        if (ev_next_ == evs_cap) [[unlikely]] {
+          flush_observers();
+          ev_next_ = evs;
+          ev_flushed_ = evs;
+        }
+        if (alive_ == 0 || stop_requested_) {
+          exhausted = false;
+          break;
+        }
+        continue;
+      }
+
+      if (oob_fault_) [[unlikely]] {
+        // The awaiter refused an out-of-range address: nothing executed,
+        // nothing charged, no event (ev_next_ stays put, so the pre-filled
+        // slot is never delivered).  Consume the grant's tick (deads
+        // neutralizes its work charge) and fault exactly as checked
+        // Memory::at did on the pre-batching instrumented path.
+        oob_fault_ = false;
+        ++deads;
+        throw std::out_of_range("apex::sim::Memory: address " +
+                                std::to_string(oob_addr_) + " >= size " +
+                                std::to_string(memory_.size()));
+      }
+
+      ev_next_ = e + 1;
+      work_ += 1;
+      for (std::size_t i = 0; i < nsync; ++i) sync[i]->on_step(*e);
+      if (ev_next_ == evs_cap) [[unlikely]] {
+        // Sub-batch full: deliver and recycle so the buffer stays
+        // L1-resident (see kEventBatch).
+        flush_observers();
+        ev_next_ = evs;
+        ev_flushed_ = evs;
+      }
+      if (stop_requested_) [[unlikely]] {
+        exhausted = false;
+        break;
+      }
     }
-    res.work += 1;
-    // Rare mid-batch exits: a processor requested stop, or the last live
-    // processor just finished.  Unconsumed grants stay buffered for the
-    // next run() call, keeping the executed trace identical to the
-    // single-step engine's.
-    if (stop_requested_ || alive_ == 0) [[unlikely]] return;
+    if (exhausted && pos == bad_grant_at_ && pos < end) {
+      ++pos;    // the bad grant consumes its tick, then faults
+      ++deads;  // ...but charges no work (it granted nothing)
+      throw std::logic_error("Simulator: schedule granted unknown proc");
+    }
+  } catch (...) {
+    flush();
+    throw;
   }
+  flush();
+}
+
+void Simulator::flush_observers_slow() {
+  const std::span<const StepEvent> batch(
+      ev_flushed_, static_cast<std::size_t>(ev_next_ - ev_flushed_));
+  // Mark delivered BEFORE fanning out: a re-entrant flush from inside an
+  // observer then no-ops instead of double-delivering.
+  ev_flushed_ = ev_next_;
+  for (StepObserver* o : batch_obs_) o->on_steps(batch);
 }
 
 void Simulator::consume_batch_fast(std::size_t end, bool double_charge,
@@ -284,12 +417,27 @@ Simulator::RunResult Simulator::run_batched(
   const bool double_charge =
       check::mutation_enabled(check::Mutation::kWorkDoubleCharge);
 
-  // Select the awaiter execution mode once per run (see proc.h): fast runs
+  // Select the awaiter execution mode once per run (see proc.h): both modes
   // execute ops inline at suspension against the raw cell array, which is
-  // stable until the next out-of-band extend().
+  // stable until the next out-of-band extend(); instrumented runs
+  // additionally route each step into the batch event buffer via ev_next_.
+  if (instrumented) {
+    // Partition the chain once per run: synchronous observers keep exact
+    // per-step delivery (they read live simulator/memory state); the rest
+    // get batched spans at flush points.  Registration order is preserved
+    // within each class.
+    sync_obs_.clear();
+    batch_obs_.clear();
+    for (StepObserver* o : observers_.members())
+      (o->step_synchronous() ? sync_obs_ : batch_obs_).push_back(o);
+    if (event_buf_.size() < kEventBatch) event_buf_.resize(kEventBatch);
+    ev_next_ = event_buf_.data();
+    ev_flushed_ = event_buf_.data();
+  }
   for (auto& ps : procs_) {
-    ps.ctx->fast_cells_ = instrumented ? nullptr : memory_.data();
+    ps.ctx->fast_cells_ = memory_.data();
     ps.ctx->fast_words_ = memory_.size();
+    ps.ctx->ev_cur_ = instrumented ? &ev_next_ : nullptr;
     ps.ctx->charge_local_twice_ = double_charge;
   }
 
@@ -325,7 +473,7 @@ Simulator::RunResult Simulator::run_batched(
     const bool poll_on_dead =
         stop != nullptr && res.work % check_interval == 0;
     if (instrumented)
-      consume_batch(buf_pos_ + take, double_charge, poll_on_dead, res);
+      consume_batch_instr(buf_pos_ + take, double_charge, poll_on_dead, res);
     else
       consume_batch_fast(buf_pos_ + take, double_charge, poll_on_dead, res);
   }
@@ -340,7 +488,10 @@ Simulator::RunResult Simulator::run_single_step(
   // probe per grant, instrumented grants throughout), so perfbench measures
   // the genuine pre-refactor engine.
   RunResult res;
-  for (auto& ps : procs_) ps.ctx->fast_cells_ = nullptr;
+  for (auto& ps : procs_) {
+    ps.ctx->fast_cells_ = nullptr;
+    ps.ctx->ev_cur_ = nullptr;
+  }
 
   while (res.work < max_steps) {
     if (alive_ == 0) {
@@ -396,6 +547,11 @@ Simulator::RunResult Simulator::run(std::uint64_t max_steps,
 }
 
 void Ctx::bump_extra_work() noexcept { sim_->work_ += 1; }
+
+void Ctx::flag_oob(std::size_t addr) noexcept {
+  sim_->oob_fault_ = true;
+  sim_->oob_addr_ = addr;
+}
 
 std::size_t Ctx::nprocs() const noexcept { return sim_->nprocs(); }
 

@@ -118,12 +118,19 @@ class Simulator {
   /// attached observer switches run() to the instrumented grant path.
   void add_observer(StepObserver* obs) { observers_.add(obs); }
   void remove_observer(StepObserver* obs) { observers_.remove(obs); }
+  void clear_observers() noexcept { observers_.clear(); }
 
-  /// Legacy single-slot API: replaces the WHOLE chain with `obs` (nullptr
-  /// clears it).  Prefer add_observer/remove_observer.
-  void set_observer(StepObserver* obs) {
-    observers_.clear();
-    observers_.add(obs);
+  /// Deliver any buffered-but-undelivered step events down the deferred
+  /// part of the observer chain NOW (exactly once, in order).  The batched
+  /// engine flushes automatically at batch boundaries, stop-predicate
+  /// checks and run() exits; protocol runtimes that emit out-of-band events
+  /// of their own (agreement cycle/phase hooks) call this first, so an
+  /// observer consuming both streams sees them interleaved exactly as the
+  /// single-step engine interleaves them.  Safe to call mid-grant from
+  /// inside protocol code: everything up to the previous completed step is
+  /// delivered; no-op outside instrumented batched runs.
+  void flush_observers() {
+    if (ev_next_ != ev_flushed_) flush_observers_slow();
   }
 
   void request_stop() noexcept { stop_requested_ = true; }
@@ -141,20 +148,26 @@ class Simulator {
 
   friend class Ctx;
 
-  /// Grant one atomic step to processor p, instrumented: builds the
-  /// StepEvent, uses checked memory access, feeds the observer chain.
+  /// Grant one atomic step to processor p, instrumented per-step: builds
+  /// the StepEvent, uses checked memory access, delivers down the whole
+  /// observer chain immediately.  Used ONLY by the single-step reference
+  /// engine (the genuine pre-batching behavior).
   /// Returns false if p had already finished (no work charged).
   bool grant_instrumented(std::size_t p, bool double_charge);
 
-  /// Consume buffered grants [buf_pos_, end) through the instrumented
-  /// grant.  Returns on exhaustion, stop request, or last processor finish.
+  /// Consume buffered grants [buf_pos_, end) through the batched
+  /// instrumented path: ops executed inline by the awaiters (which also
+  /// fill the batch event buffer through cur_ev_), events flushed as one
+  /// on_steps(span) at every exit — synchronous observers still get
+  /// per-step on_step at the exact step time.  Returns on exhaustion, stop
+  /// request, or last processor finish.
   /// `poll_on_dead`: the batch began exactly on a stop-predicate boundary,
   /// so a grant to a finished processor before any live grant must return
   /// to the caller for a re-poll — the single-step engine re-evaluates the
   /// predicate on every such grant (work parked on the boundary), and a
   /// stateful predicate must observe the same number of calls.
-  void consume_batch(std::size_t end, bool double_charge, bool poll_on_dead,
-                     RunResult& res);
+  void consume_batch_instr(std::size_t end, bool double_charge,
+                           bool poll_on_dead, RunResult& res);
 
   /// Same, through the no-observer fast path: no StepEvent construction,
   /// ops executed inline by the awaiters against raw memory, invariant
@@ -213,6 +226,28 @@ class Simulator {
   /// Per-processor next-resume handle (null = finished); parallel to
   /// procs_.  See the invariant note in spawn().
   std::vector<std::coroutine_handle<>> resume_slots_;
+  /// Out-of-line tail of flush_observers().
+  void flush_observers_slow();
+
+  /// Batch event buffer (instrumented batched runs).  Sized like the grant
+  /// buffer: a batch of k grants yields at most k events, so a batch can
+  /// never overflow it mid-loop.
+  std::vector<StepEvent> event_buf_;
+  /// Cursors into event_buf_: [ev_flushed_, ev_next_) is filled but not
+  /// yet delivered; ev_next_ is the slot the CURRENT grant's awaiter fills
+  /// (each Ctx's ev_cur_ points at ev_next_ during instrumented batched
+  /// runs).  Both rewind to the buffer base at batch boundaries, after
+  /// delivery.
+  StepEvent* ev_next_ = nullptr;
+  StepEvent* ev_flushed_ = nullptr;
+  /// Out-of-range fault raised by an awaiter (see Ctx::flag_oob): the op
+  /// was refused before executing; the scheduler throws for that grant.
+  bool oob_fault_ = false;
+  std::size_t oob_addr_ = 0;
+  /// Per-run partition of observers_ (rebuilt by run_batched): synchronous
+  /// members get per-step on_step, the rest get batched on_steps spans.
+  std::vector<StepObserver*> sync_obs_;
+  std::vector<StepObserver*> batch_obs_;
 };
 
 }  // namespace apex::sim

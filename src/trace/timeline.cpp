@@ -114,12 +114,15 @@ ProcActivityTimeline::ProcActivityTimeline(std::size_t nprocs)
     throw std::invalid_argument("ProcActivityTimeline: nprocs == 0");
 }
 
-void ProcActivityTimeline::on_step(const sim::StepEvent& ev) {
-  char tag = '.';
-  if (ev.op.kind == sim::Op::Kind::Read) tag = 'r';
-  else if (ev.op.kind == sim::Op::Kind::Write) tag = 'w';
-  recorded_.push_back(
-      Mark{ev.time, static_cast<std::uint32_t>(ev.proc), tag});
+void ProcActivityTimeline::on_steps(std::span<const sim::StepEvent> evs) {
+  recorded_.reserve(recorded_.size() + evs.size());
+  for (const sim::StepEvent& ev : evs) {
+    char tag = '.';
+    if (ev.op.kind == sim::Op::Kind::Read) tag = 'r';
+    else if (ev.op.kind == sim::Op::Kind::Write) tag = 'w';
+    recorded_.push_back(
+        Mark{ev.time, static_cast<std::uint32_t>(ev.proc), tag});
+  }
 }
 
 std::string ProcActivityTimeline::render(std::size_t width) const {

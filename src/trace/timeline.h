@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -88,7 +89,12 @@ class ProcActivityTimeline final : public sim::StepObserver {
  public:
   explicit ProcActivityTimeline(std::size_t nprocs);
 
-  void on_step(const sim::StepEvent& ev) override;
+  /// Span-native recorder (one reserve per batch, tag branch in a tight
+  /// loop); on_step forwards as a span of one.
+  void on_step(const sim::StepEvent& ev) override {
+    on_steps(std::span<const sim::StepEvent>(&ev, 1));
+  }
+  void on_steps(std::span<const sim::StepEvent> evs) override;
 
   /// Render the recorded activity (empty string when nothing was observed).
   std::string render(std::size_t width = 72) const;

@@ -66,7 +66,7 @@ TEST(WorkAccountingOracle, ReconcilesWithRealRun) {
       }(c);
     });
   WorkAccountingOracle o;
-  s.set_observer(&o);
+  s.add_observer(&o);
   s.run(1000);
   o.on_finish(s);
   EXPECT_FALSE(o.failed()) << o.failures().front();
@@ -232,7 +232,7 @@ TEST(ConsensusOracle, CleanRunPasses) {
   OracleSet set;
   set.add(&work);
   set.add(&cons);
-  sc.simulator().set_observer(&set);
+  sc.simulator().add_observer(&set);
   const auto res = sc.run(1u << 20);
   set.finish(sc.simulator());
   EXPECT_TRUE(res.completed);

@@ -265,7 +265,7 @@ TEST(Simulator, ObserverSeesEveryGrantExactlyOnce) {
   sim.spawn([&](Ctx& c) { return incrementer(c, 0, 10); });
   sim.spawn([&](Ctx& c) { return incrementer(c, 1, 7); });
   GrantCounter rec;
-  sim.set_observer(&rec);
+  sim.add_observer(&rec);
   const auto res = sim.run(100000);
   EXPECT_TRUE(res.all_finished);
   EXPECT_TRUE(rec.gapless);
@@ -314,7 +314,7 @@ TEST(Simulator, ObserverSeesWritesInOrder) {
   auto sim = make_sim(1, 8);
   sim.spawn([&](Ctx& c) { return id_writer(c, 2, 3); });
   WriteRecorder rec;
-  sim.set_observer(&rec);
+  sim.add_observer(&rec);
   sim.run(100);
   ASSERT_EQ(rec.writes.size(), 3u);
   EXPECT_EQ(rec.writes[0].addr, 2u);
@@ -333,7 +333,7 @@ TEST(Simulator, ObserverSeesBeforeAfter) {
         w.emplace_back(ev.before.value, ev.after.value);
     }
   } rec;
-  sim.set_observer(&rec);
+  sim.add_observer(&rec);
   sim.run(100);
   ASSERT_EQ(rec.w.size(), 2u);
   EXPECT_EQ(rec.w[0], (std::pair<Word, Word>{0, 1}));
@@ -358,16 +358,17 @@ TEST(Simulator, ObserverChainDeliversToAllInOrder) {
   EXPECT_EQ(second.events, 14u);
 }
 
-TEST(Simulator, LegacySetObserverReplacesWholeChain) {
+TEST(Simulator, ClearObserversDetachesWholeChain) {
   auto sim = make_sim(1, 4);
   sim.spawn([&](Ctx& c) { return incrementer(c, 0, 10); });
   GrantCounter first, second;
   sim.add_observer(&first);
-  sim.set_observer(&second);  // legacy single-slot semantics
+  sim.clear_observers();
+  sim.add_observer(&second);
   sim.run(6);
   EXPECT_EQ(first.events, 0u);
   EXPECT_EQ(second.events, 6u);
-  sim.set_observer(nullptr);
+  sim.clear_observers();
   sim.run(4);
   EXPECT_EQ(second.events, 6u);
 }

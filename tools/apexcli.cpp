@@ -66,6 +66,7 @@
 #include <iterator>
 #include <map>
 #include <numeric>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -402,11 +403,19 @@ sim::ProcTask perf_proc(sim::Ctx& ctx, std::size_t slot) {
 }
 
 /// Cheap chained observer for the observer=on rows: forces the instrumented
-/// grant path and consumes each event.
+/// grant path and consumes each event.  Span-native, so the batched engine's
+/// deferred delivery is one virtual call per batch; the single_step engine
+/// still lands on on_step per event.
 struct PerfObserver final : sim::StepObserver {
   std::uint64_t writes = 0;
   void on_step(const sim::StepEvent& ev) override {
     writes += ev.op.kind == sim::Op::Kind::Write;
+  }
+  void on_steps(std::span<const sim::StepEvent> evs) override {
+    std::uint64_t w = 0;
+    for (const sim::StepEvent& ev : evs)
+      w += ev.op.kind == sim::Op::Kind::Write;
+    writes += w;
   }
 };
 
@@ -714,20 +723,79 @@ int cmd_perfbench(const Args& a) {
   std::printf("\nbatched vs single_step reference (round_robin, no observer, "
               "min over n): %.2fx\n", speedup_min);
 
+  // Instrumented-path ratios (round_robin, min over n).  The first is the
+  // observer-batching headline: batched deferred span delivery vs the
+  // single_step engine's per-step instrumented delivery (the genuine
+  // pre-batching observation path).  The second bounds what instrumentation
+  // costs relative to the uninstrumented fast path on the same engine.
+  double instr_speedup_min = 0.0;
+  double instr_overhead_min = 0.0;
+  for (const auto& b : rows) {
+    if (std::string(b.sched) != "round_robin" || !b.observer ||
+        std::string(b.engine) != "batched")
+      continue;
+    for (const auto& s : rows) {
+      if (std::string(s.sched) != "round_robin" || s.n != b.n) continue;
+      if (s.observer && std::string(s.engine) == "single_step" &&
+          s.steps_per_sec > 0) {
+        const double sp = b.steps_per_sec / s.steps_per_sec;
+        instr_speedup_min =
+            instr_speedup_min == 0.0 ? sp : std::min(instr_speedup_min, sp);
+      }
+      if (!s.observer && std::string(s.engine) == "batched" &&
+          s.steps_per_sec > 0) {
+        const double ov = b.steps_per_sec / s.steps_per_sec;
+        instr_overhead_min =
+            instr_overhead_min == 0.0 ? ov : std::min(instr_overhead_min, ov);
+      }
+    }
+  }
+  std::printf("instrumented batched vs single_step per-step delivery "
+              "(round_robin, observer on, min over n): %.2fx\n",
+              instr_speedup_min);
+  std::printf("instrumented vs no-observer on the batched engine "
+              "(round_robin, min over n): %.2fx\n", instr_overhead_min);
+
+  // Fuzz throughput: a pinned corpus slice through the full trial stack
+  // (testbed construction, oracles on the instrumented path, verdicts).
+  // Single job so the number tracks per-core trial cost, not parallelism.
+  const std::size_t fuzz_trials = quick ? 10 : 40;
+  double fuzz_secs = 0.0;
+  std::size_t fuzz_failures = 0;
+  {
+    check::FuzzConfig fc;
+    fc.trials = fuzz_trials;
+    fc.seed = 1;
+    fc.jobs = 1;
+    fc.shrink = false;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto rep = check::run_fuzz(fc);
+    const auto t1 = std::chrono::steady_clock::now();
+    fuzz_secs = std::chrono::duration<double>(t1 - t0).count();
+    fuzz_failures = rep.failures.size();
+  }
+  const double fuzz_tps =
+      fuzz_secs > 0 ? static_cast<double>(fuzz_trials) / fuzz_secs : 0.0;
+  std::printf("fuzz throughput: %zu trials in %.2fs = %.2f trials/sec "
+              "(%zu failures)\n",
+              fuzz_trials, fuzz_secs, fuzz_tps, fuzz_failures);
+
   // The committed BENCH_core.json carries hand-added provenance blocks
   // ("pre_refactor": the genuine pre-batching engine measured from the
   // parent commit of PR 3; "host_pre_virtualization": the one-thread-per-
   // processor host executor measured from the parent commit of the
-  // virtualization PR).  Rewriting the file must not destroy them: lift
-  // each block out of any existing file and splice it back into the fresh
-  // output.
+  // virtualization PR; "pre_observer_batching": the per-step observer
+  // delivery path measured from the parent commit of the observer-batching
+  // PR).  Rewriting the file must not destroy them: lift each block out of
+  // any existing file and splice it back into the fresh output.
   std::vector<std::string> kept_blocks;
   {
     std::ifstream prev(out_path);
     if (prev) {
       std::string text((std::istreambuf_iterator<char>(prev)),
                        std::istreambuf_iterator<char>());
-      for (const char* keyname : {"pre_refactor", "host_pre_virtualization"}) {
+      for (const char* keyname : {"pre_refactor", "host_pre_virtualization",
+                                  "pre_observer_batching"}) {
         const auto key = text.find("\"" + std::string(keyname) + "\"");
         const auto open = text.find('{', key);
         if (key == std::string::npos || open == std::string::npos) continue;
@@ -765,6 +833,15 @@ int cmd_perfbench(const Args& a) {
   std::snprintf(buf, sizeof buf, "%.3f", speedup_min);
   out << "  \"speedup_round_robin_no_observer_vs_single_step\": " << buf
       << ",\n";
+  std::snprintf(buf, sizeof buf, "%.3f", instr_speedup_min);
+  out << "  \"speedup_round_robin_observer_vs_single_step\": " << buf
+      << ",\n";
+  std::snprintf(buf, sizeof buf, "%.3f", instr_overhead_min);
+  out << "  \"instrumented_over_no_observer_batched\": " << buf << ",\n";
+  std::snprintf(buf, sizeof buf, "%.3f", fuzz_tps);
+  out << "  \"fuzz\": {\"trials\": " << fuzz_trials << ", \"seed\": 1, "
+      << "\"jobs\": 1, \"failures\": " << fuzz_failures
+      << ", \"trials_per_sec\": " << buf << "},\n";
   for (const auto& block : kept_blocks) out << "  " << block << ",\n";
   out << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
