@@ -29,7 +29,13 @@
 // design bounded P by what the OS could sensibly timeslice; these grids
 // are exactly the configurations it could never run.
 //
-// Fourth: the virtualization dividend — the same workload at the same
+// Fourth table: GRAPH SCALE — the CSR-backed kernels (bfs, spmv) at the
+// registry's n = 1e4 instance (1e5 with --full): thousands of logical
+// processors walking partitioned CSR row slices through dynamic-window
+// gathers, placed partition-aware (each OS thread owns a weight-balanced
+// share of the degree mass) on T = 2 threads at alpha = 32.
+//
+// Fifth: the virtualization dividend — the same workload at the same
 // protocol parameters (alpha = 4096), one-thread-per-processor (the
 // pre-virtualization shape, T = P) vs T = hardware threads; the wall-clock
 // ratio is printed (informational: absolute timing is machine-dependent).
@@ -265,6 +271,93 @@ int main(int argc, char** argv) {
   std::printf("\nscaling study (virtualized: P logical processors on T OS "
               "threads, alpha=48):\n");
   opt.emit(st);
+
+  // ---- graph scale: CSR kernels at n = 1e4 (1e5 with --full) --------------
+  //
+  // The registry's graph-scale instances: n vertices compiled onto
+  // P = min(n, 4096) logical processors that walk partitioned CSR row
+  // slices through dynamic-window gathers.  Placement is partition-aware
+  // (Interleave::kPartition seeded with the workload's reported
+  // per-processor degree mass), so each OS thread owns a weight-balanced
+  // share of the irregular rows.  Audit-clean runs only, like every host
+  // table above.
+
+  struct GraphPoint {
+    const char* workload;
+    std::size_t n;
+  };
+  std::vector<GraphPoint> ggrid = {{"bfs", 10'000}, {"spmv", 10'000}};
+  if (opt.full) {
+    ggrid.push_back({"bfs", 100'000});
+    ggrid.push_back({"spmv", 100'000});
+  }
+  const auto ggroups = opt.sweep(ggrid, opt.seeds, [](const GraphPoint& pt,
+                                                      int s) {
+    batch::TrialResult r;
+    const auto* spec = pram::find_workload(pt.workload);
+    const pram::Program p = spec->make(pt.n);
+    HostExecConfig cfg;
+    cfg.seed = 13'000 + static_cast<std::uint64_t>(s);
+    cfg.os_threads = 2;
+    cfg.clock_alpha = 32.0;
+    cfg.generations = 6;
+    cfg.interleave = Interleave::kPartition;
+    cfg.proc_weights = spec->proc_weights(pt.n);
+    cfg.timeout_seconds = pt.n > 10'000 ? 1200.0 : 600.0;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      HostExecutor ex(p, cfg);
+      const auto res = ex.run();
+      if (!res.completed) {
+        r.ok = false;
+        return r;
+      }
+      if (res.repaired_commits != 0)
+        r.count("repaired", static_cast<double>(res.repaired_commits));
+      if (res.lost_commits != 0) {
+        r.count("damaged");
+        cfg.seed += 1000;
+        continue;
+      }
+      std::vector<pram::Word> mem(res.memory.begin(), res.memory.end());
+      if (!spec->check(pt.n, mem).empty()) {
+        r.ok = false;
+        return r;
+      }
+      r.count("ok");
+      r.sample("work", static_cast<double>(res.total_work));
+      r.sample("wall", res.wall_seconds * 1000.0);
+      r.sample("wps", static_cast<double>(res.total_work) /
+                          std::max(res.wall_seconds, 1e-9) / 1e6);
+      return r;
+    }
+    r.ok = false;  // damaged on every attempt
+    return r;
+  });
+
+  Table gt({"kernel", "n", "P", "T", "policy", "runs", "ok", "damaged",
+            "repaired", "work_mean", "wall_ms", "Msteps/s"});
+  for (std::size_t g = 0; g < ggrid.size(); ++g) {
+    const auto& group = ggroups[g];
+    if (!group.all_ok()) all_ok = false;
+    const int ok = static_cast<int>(group.count("ok"));
+    gt.row()
+        .cell(ggrid[g].workload)
+        .cell(static_cast<std::uint64_t>(ggrid[g].n))
+        .cell(static_cast<std::uint64_t>(std::min<std::size_t>(ggrid[g].n,
+                                                               4096)))
+        .cell(static_cast<std::uint64_t>(2))
+        .cell("partition")
+        .cell(static_cast<std::uint64_t>(group.trials()))
+        .cell(ok)
+        .cell(static_cast<std::uint64_t>(group.count("damaged")))
+        .cell(static_cast<std::uint64_t>(group.count("repaired")))
+        .cell(ok ? group.sample("work").mean() : 0.0, 0)
+        .cell(ok ? group.sample("wall").mean() : 0.0, 2)
+        .cell(ok ? group.sample("wps").mean() : 0.0, 2);
+  }
+  std::printf("\ngraph scale (CSR kernels, partition-aware placement, "
+              "alpha=32, T=2):\n");
+  opt.emit(gt);
 
   // ---- virtualization dividend: T = P (pre-virtualization shape) vs -------
   // ---- T = hardware threads, identical protocol parameters ----------------

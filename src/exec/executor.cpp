@@ -58,7 +58,8 @@ struct Executor::Impl {
   }
 
   /// Evaluate instruction `i` of step `s` (reads operands, one local step
-  /// to compute / draw).  Costs at most 4 atomic steps.
+  /// to compute / draw).  Costs at most 4 atomic steps — 5 when the
+  /// program contains kGatherDyn (3 operand reads + 1 segment read).
   sim::SubTask<agreement::TaskResult> eval_task(sim::Ctx& ctx, std::size_t s,
                                                 std::size_t i) {
     const pram::Instr& ins = prog->step(s).instrs[i];
@@ -99,6 +100,22 @@ struct Executor::Impl {
       const auto v = co_await read_operand(ctx, ins.c, w.c);
       if (!v) co_return agreement::TaskResult{};
       cv = *v;
+    }
+    if (ins.op == pram::OpCode::kGatherDyn) {
+      // Like kGather, but base and bound came from the x/y/c operand reads
+      // above; the static segment caps the computed target, so the writer
+      // table covers it the same way.
+      const std::uint32_t target =
+          pram::gather_dyn_target(ins, xv + yv, cv);
+      sim::Word wv = 0;
+      if (target != pram::kGatherOutOfRange) {
+        const auto v = co_await read_operand(
+            ctx, target, prog->last_writer_before(s, target));
+        if (!v) co_return agreement::TaskResult{};
+        wv = *v;
+      }
+      co_await ctx.local();
+      co_return agreement::TaskResult{wv};
     }
     co_await ctx.local();  // the basic computation / random draw
     switch (ins.op) {
@@ -334,7 +351,8 @@ Executor::Executor(const pram::Program& program, Scheme scheme, ExecConfig cfg)
         sim_->memory(), n, agreement::BinArray::cells_for(n, cfg.beta));
     impl_->rt.cfg.n = n;
     impl_->rt.cfg.beta = cfg.beta;
-    impl_->rt.cfg.compute_steps = 4;  // <= 3 operand reads + 1 local
+    // <= 3 operand reads + 1 local; a kGatherDyn adds one segment read.
+    impl_->rt.cfg.compute_steps = program.has_dyn_gather() ? 5 : 4;
     impl_->rt.bins = impl_->bins.get();
     impl_->rt.clock = impl_->clock.get();
     Impl* im = impl_.get();
@@ -368,7 +386,7 @@ std::uint64_t Executor::default_budget(const pram::Program& p) {
   const std::size_t n = p.nthreads();
   agreement::AgreementConfig acfg;
   acfg.n = n;
-  acfg.compute_steps = 4;
+  acfg.compute_steps = p.has_dyn_gather() ? 5 : 4;
   // One tick costs ~α·n·lg n cycles of ω steps each, plus clock traffic
   // (~ one update + one read per lg n cycles).  Budget 4x the expected
   // 2T-tick run, plus slack for tiny programs.

@@ -1,0 +1,141 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace apex::graph {
+
+std::uint32_t Csr::max_degree() const {
+  std::uint32_t best = 0;
+  for (std::size_t r = 0; r < n_rows(); ++r) best = std::max(best, degree(r));
+  return best;
+}
+
+CsrBuilder::CsrBuilder(std::size_t n_rows, std::size_t n_cols)
+    : n_rows_(n_rows), n_cols_(n_cols) {
+  const auto lim = std::numeric_limits<std::uint32_t>::max();
+  if (n_rows >= lim || n_cols >= lim)
+    throw std::invalid_argument("CsrBuilder: dimension exceeds uint32 range");
+}
+
+void CsrBuilder::add_edge(std::size_t row, std::size_t col) {
+  unweighted_ = true;
+  push(row, col, 0);
+}
+
+void CsrBuilder::add_edge(std::size_t row, std::size_t col,
+                          std::uint64_t val) {
+  weighted_ = true;
+  push(row, col, val);
+}
+
+void CsrBuilder::push(std::size_t row, std::size_t col, std::uint64_t val) {
+  if (row >= n_rows_)
+    throw std::invalid_argument("CsrBuilder::add_edge: row " +
+                                std::to_string(row) + " out of range [0," +
+                                std::to_string(n_rows_) + ")");
+  if (col >= n_cols_)
+    throw std::invalid_argument("CsrBuilder::add_edge: col " +
+                                std::to_string(col) + " out of range [0," +
+                                std::to_string(n_cols_) + ")");
+  edges_.push_back(Edge{static_cast<std::uint32_t>(row),
+                        static_cast<std::uint32_t>(col), val});
+}
+
+Csr CsrBuilder::build() const {
+  if (weighted_ && unweighted_)
+    throw std::invalid_argument(
+        "CsrBuilder::build: mixed weighted and unweighted edges");
+  std::vector<Edge> sorted = edges_;
+  std::sort(sorted.begin(), sorted.end(), [](const Edge& a, const Edge& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  Csr out;
+  out.row_offsets.assign(n_rows_ + 1, 0);
+  out.cols.reserve(sorted.size());
+  if (weighted_) out.vals.reserve(sorted.size());
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < n_rows_; ++r) {
+    out.row_offsets[r] = static_cast<std::uint32_t>(out.cols.size());
+    while (i < sorted.size() && sorted[i].row == r) {
+      // Merge the run of duplicates of this (row, col); values sum with
+      // the same wrapping uint64 arithmetic PRAM memory words use.
+      const std::uint32_t col = sorted[i].col;
+      std::uint64_t val = 0;
+      for (; i < sorted.size() && sorted[i].row == r && sorted[i].col == col;
+           ++i)
+        val += sorted[i].val;
+      out.cols.push_back(col);
+      if (weighted_) out.vals.push_back(val);
+    }
+  }
+  out.row_offsets[n_rows_] = static_cast<std::uint32_t>(out.cols.size());
+  return out;
+}
+
+std::vector<std::uint64_t> delta_encode(const Csr& csr) {
+  std::vector<std::uint64_t> delta(csr.nnz());
+  for (std::size_t r = 0; r < csr.n_rows(); ++r) {
+    const std::uint32_t b = csr.row_offsets[r];
+    const std::uint32_t e = csr.row_offsets[r + 1];
+    for (std::uint32_t k = b; k < e; ++k)
+      delta[k] = k == b ? std::uint64_t{csr.cols[k]} + 1
+                        : std::uint64_t{csr.cols[k]} - csr.cols[k - 1];
+  }
+  return delta;
+}
+
+std::vector<std::uint32_t> delta_decode(
+    const std::vector<std::uint32_t>& row_offsets,
+    const std::vector<std::uint64_t>& delta) {
+  if (row_offsets.empty() || row_offsets.back() != delta.size())
+    throw std::invalid_argument("delta_decode: offsets/stream size mismatch");
+  const auto lim = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> cols(delta.size());
+  for (std::size_t r = 0; r + 1 < row_offsets.size(); ++r) {
+    const std::uint32_t b = row_offsets[r];
+    const std::uint32_t e = row_offsets[r + 1];
+    std::uint64_t acc = 0;  // biased running column (col + 1)
+    for (std::uint32_t k = b; k < e; ++k) {
+      if (delta[k] == 0)
+        throw std::invalid_argument("delta_decode: zero entry at " +
+                                    std::to_string(k));
+      acc += delta[k];
+      if (acc - 1 > lim)
+        throw std::invalid_argument("delta_decode: column overflow at " +
+                                    std::to_string(k));
+      cols[k] = static_cast<std::uint32_t>(acc - 1);
+    }
+  }
+  return cols;
+}
+
+std::vector<std::uint32_t> partition_balanced(
+    const std::vector<std::uint64_t>& weights, std::size_t parts) {
+  if (parts == 0)
+    throw std::invalid_argument("partition_balanced: parts must be >= 1");
+  const std::size_t n = weights.size();
+  std::uint64_t total = 0;
+  for (std::uint64_t w : weights) total += w;
+
+  std::vector<std::uint32_t> bounds(parts + 1, 0);
+  std::size_t pos = 0;
+  std::uint64_t prefix = 0;
+  for (std::size_t k = 1; k < parts; ++k) {
+    // Advance until this part's cumulative weight reaches its
+    // proportional target; cuts are monotone by construction.
+    const std::uint64_t target = total * k / parts;
+    while (pos < n && prefix < target) {
+      prefix += weights[pos];
+      ++pos;
+    }
+    bounds[k] = static_cast<std::uint32_t>(pos);
+  }
+  bounds[parts] = static_cast<std::uint32_t>(n);
+  return bounds;
+}
+
+}  // namespace apex::graph

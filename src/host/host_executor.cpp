@@ -5,6 +5,7 @@
 #include <numeric>
 #include <thread>
 
+#include "graph/csr.h"
 #include "pram/ir.h"
 
 namespace apex::host {
@@ -28,6 +29,7 @@ const char* interleave_name(Interleave p) noexcept {
     case Interleave::kRoundRobin: return "rr";
     case Interleave::kRandom: return "random";
     case Interleave::kBlock: return "block";
+    case Interleave::kPartition: return "partition";
   }
   return "?";
 }
@@ -36,6 +38,7 @@ bool parse_interleave(const std::string& s, Interleave& out) noexcept {
   if (s == "rr" || s == "round_robin") out = Interleave::kRoundRobin;
   else if (s == "random") out = Interleave::kRandom;
   else if (s == "block") out = Interleave::kBlock;
+  else if (s == "partition") out = Interleave::kPartition;
   else return false;
   return true;
 }
@@ -75,9 +78,20 @@ HostExecutor::HostExecutor(const pram::Program& program, HostExecConfig cfg)
     procs_[p].iter = (stride_ - p % stride_) % stride_;
   }
   slice_.resize(nthreads_ + 1, 0);
-  const std::size_t base = n_ / nthreads_, rem = n_ % nthreads_;
-  for (std::size_t t = 0; t < nthreads_; ++t)
-    slice_[t + 1] = slice_[t] + base + (t < rem ? 1 : 0);
+  if (cfg_.interleave == Interleave::kPartition && !cfg_.proc_weights.empty()) {
+    // Weight-balanced slices: align OS-thread ownership with the graph
+    // partitioner's placement so the thread that owns a CSR partition's
+    // processors is the one walking its rows.
+    if (cfg_.proc_weights.size() != n_)
+      throw std::invalid_argument(
+          "HostExecutor: proc_weights size != logical processor count");
+    const auto cuts = graph::partition_balanced(cfg_.proc_weights, nthreads_);
+    for (std::size_t t = 0; t <= nthreads_; ++t) slice_[t] = cuts[t];
+  } else {
+    const std::size_t base = n_ / nthreads_, rem = n_ % nthreads_;
+    for (std::size_t t = 0; t < nthreads_; ++t)
+      slice_[t + 1] = slice_[t] + base + (t < rem ? 1 : 0);
+  }
 
   // --- per-instruction operand plans ----------------------------------------
   // Hoist every address computation and writer-table lookup out of the hot
@@ -87,11 +101,9 @@ HostExecutor::HostExecutor(const pram::Program& program, HostExecConfig cfg)
   const std::size_t nsteps = prog_->nsteps();
   plans_.resize(nsteps * n_);
   step_stamp_.resize(nsteps);
-  lw_row_.resize(nsteps);
   for (std::size_t s = 0; s < nsteps; ++s) {
     step_stamp_[s] = static_cast<std::uint32_t>(
         pram::stamp_of_step(static_cast<std::uint32_t>(s)));
-    lw_row_[s] = prog_->last_writer_row(s);
     for (std::size_t i = 0; i < n_; ++i) {
       const pram::Instr& ins = prog_->step(s).instrs[i];
       OpPlan& pl = plans_[s * n_ + i];
@@ -200,15 +212,15 @@ bool HostExecutor::eval(HostProc& vp, std::size_t s, std::size_t i,
   }
   if (pl.op == pram::OpCode::kGather) {
     // Data-dependent addressing: resolve the computed target against the
-    // static writer table (known for every variable), same timestamp
-    // discipline as a static operand.  Out-of-window index reads 0.  This
-    // is the one operand whose slot cannot be precomputed; the per-step
-    // last-writer row pointer keeps it to one table load.
+    // sparse last-writer index (a binary search over that variable's write
+    // steps — graph-scale programs cannot afford the dense per-step row the
+    // old layout snapshotted), same timestamp discipline as a static
+    // operand.  Out-of-window index reads 0.
     const std::uint32_t target = pram::gather_target(*pl.ins, xv);
     std::uint64_t gv = 0;
     if (target != pram::kGatherOutOfRange) {
       const std::uint32_t want = static_cast<std::uint32_t>(
-          pram::stamp_of_writer(lw_row_[s][target]));
+          pram::stamp_of_writer(prog_->last_writer_before(s, target)));
       const std::size_t addr = var_addr(target, want);
       const HostCell c = mem_.read_unchecked(addr, ld_);
       vp.work += 1;
@@ -239,6 +251,29 @@ bool HostExecutor::eval(HostProc& vp, std::size_t s, std::size_t i,
       return false;
     }
     cv = c.value;
+  }
+  if (pl.op == pram::OpCode::kGatherDyn) {
+    // Data-DEPENDENT window: base and bound arrived through the x/y/c
+    // operand reads above (index, base offset, bound); the static segment
+    // caps the computed target, and the sparse last-writer index answers
+    // the stamp question exactly as for kGather.
+    const std::uint32_t target = pram::gather_dyn_target(*pl.ins, xv + yv, cv);
+    std::uint64_t gv = 0;
+    if (target != pram::kGatherOutOfRange) {
+      const std::uint32_t want = static_cast<std::uint32_t>(
+          pram::stamp_of_writer(prog_->last_writer_before(s, target)));
+      const std::size_t addr = var_addr(target, want);
+      const HostCell c = mem_.read_unchecked(addr, ld_);
+      vp.work += 1;
+      if (c.stamp != want) {
+        ++vp.misses;
+        return false;
+      }
+      gv = c.value;
+    }
+    vp.work += 1;
+    out = gv;
+    return true;
   }
   vp.work += 1;  // the basic computation / random draw
   switch (pl.op) {
@@ -387,6 +422,7 @@ void HostExecutor::worker_body(std::size_t tid) {
   const std::size_t lo = slice_[tid], hi = slice_[tid + 1];
   std::size_t alive = hi - lo;
   switch (cfg_.interleave) {
+    case Interleave::kPartition:  // rr sweep; only the slice bounds differ
     case Interleave::kRoundRobin: {
       while (alive > 0 && !abort_.load(std::memory_order_relaxed)) {
         for (std::size_t p = lo; p < hi; ++p) {
@@ -438,12 +474,17 @@ void HostExecutor::audit_and_repair(HostExecResult& out) {
   // so the reads are exact and the repair below is race-free.
   if (prog_->nsteps() == 0) return;
   const std::size_t last = prog_->nsteps() - 1;
+  // One pass over the final step marks its writes; the per-variable loop
+  // below then costs a binary search each instead of rescanning the step's
+  // P instructions per variable (O(nvars * P) — minutes at graph scale).
+  std::vector<bool> last_writes(prog_->nvars(), false);
+  for (const pram::Instr& ins : prog_->step(last).instrs)
+    if (pram::writes_dest(ins.op)) last_writes[ins.z] = true;
   for (std::uint32_t v = 0; v < prog_->nvars(); ++v) {
     // last_writer_before(last, v) excludes the final step itself.
-    std::uint32_t writer = prog_->last_writer_before(last, v);
-    for (const pram::Instr& ins : prog_->step(last).instrs)
-      if (pram::writes_dest(ins.op) && ins.z == v)
-        writer = static_cast<std::uint32_t>(last);
+    const std::uint32_t writer =
+        last_writes[v] ? static_cast<std::uint32_t>(last)
+                       : prog_->last_writer_before(last, v);
     if (writer == pram::kInitial) continue;
     const std::uint32_t want =
         static_cast<std::uint32_t>(pram::stamp_of_step(writer));

@@ -76,10 +76,17 @@ enum class Interleave : std::uint8_t {
   kRoundRobin,  ///< Cyclic sweep: skew within a slice bounded by 1 visit.
   kRandom,      ///< Uniform pick per visit (thread-private stream).
   kBlock,       ///< `block` consecutive steps per processor before moving on.
+  kPartition,   ///< Cyclic sweep over WEIGHT-BALANCED slices: the T slice
+                ///< bounds come from HostExecConfig::proc_weights (e.g. the
+                ///< graph degree partitioner's per-processor work), so the
+                ///< OS threads that walk a CSR partition own the processors
+                ///< placed on it.  Still oblivious: weights are static data
+                ///< fixed before the run.
 };
 
 const char* interleave_name(Interleave p) noexcept;
-/// Parse "rr"/"round_robin", "random", "block"; returns false on junk.
+/// Parse "rr"/"round_robin", "random", "block", "partition"; returns false
+/// on junk.
 bool parse_interleave(const std::string& s, Interleave& out) noexcept;
 
 struct HostExecConfig {
@@ -111,6 +118,11 @@ struct HostExecConfig {
   /// Run the post-join lost-commit repair pass (on by default; off shows
   /// the raw audit).
   bool repair = true;
+  /// Per-logical-processor work weights for Interleave::kPartition (e.g.
+  /// instruction-slot counts from the graph degree partitioner).  Empty =
+  /// equal-count slices (kPartition then degenerates to round-robin); a
+  /// non-empty vector must have exactly P entries.
+  std::vector<std::uint64_t> proc_weights;
   /// TEST ONLY: fault injected between thread join and the commit audit —
   /// lets tests exercise the audit+repair path deterministically (genuine
   /// ultra-preemption damage needs an adversarial OS moment).
@@ -229,8 +241,6 @@ class HostExecutor {
   std::vector<std::size_t> slice_;     ///< T+1 slice bounds over procs_.
   std::vector<OpPlan> plans_;          ///< nsteps * P, step-major.
   std::vector<std::uint32_t> step_stamp_;    ///< Stamp per step.
-  std::vector<const std::uint32_t*> lw_row_; ///< Last-writer row per step
-                                             ///< (kGather target resolution).
 
   std::atomic<bool> abort_{false};
   /// Per-worker clean-completion flags (watchdog reads them live).  Dense

@@ -15,6 +15,15 @@ Word eval_gather(const Instr& ins, const std::vector<Word>& mem) {
   return target == kGatherOutOfRange ? 0 : mem[target];
 }
 
+/// Same for kGatherDyn: the index is M[x] + M[y] (wrapping) and the bound
+/// is M[c]; the static segment bound caps the subscript before it can
+/// overflow, exactly as the static-window case.
+Word eval_gather_dyn(const Instr& ins, const std::vector<Word>& mem) {
+  const Word j = mem[ins.x] + mem[ins.y];
+  const std::uint32_t target = gather_dyn_target(ins, j, mem[ins.c]);
+  return target == kGatherOutOfRange ? 0 : mem[target];
+}
+
 Word eval_with_rng(const Instr& ins, const std::vector<Word>& mem,
                    apex::Rng& rng) {
   switch (ins.op) {
@@ -25,6 +34,8 @@ Word eval_with_rng(const Instr& ins, const std::vector<Word>& mem,
                                                                          : 0;
     case OpCode::kGather:
       return eval_gather(ins, mem);
+    case OpCode::kGatherDyn:
+      return eval_gather_dyn(ins, mem);
     default:
       return eval_deterministic(ins, mem[ins.x], mem[ins.y], mem[ins.c]);
   }
@@ -81,11 +92,13 @@ std::string check_execution_consistency(
       const Instr& ins = st.instrs[t];
       if (ins.op == OpCode::kNop) continue;
       const Word got = produced[s][t];
-      // kGather resolves its window read against the replay image; the x/y
-      // operand slots passed to in_support follow eval_deterministic's
-      // resolved-gather convention.
+      // kGather / kGatherDyn resolve their computed read against the
+      // replay image; the y slot passed to in_support follows
+      // eval_deterministic's resolved-gather convention.
       const Word yv = ins.op == OpCode::kGather ? eval_gather(ins, mem)
-                                                : mem[ins.y];
+                      : ins.op == OpCode::kGatherDyn
+                          ? eval_gather_dyn(ins, mem)
+                          : mem[ins.y];
       if (!in_support(ins, got, mem[ins.x], yv, mem[ins.c]))
         return "step " + std::to_string(s) + " thread " + std::to_string(t) +
                ": value " + std::to_string(got) + " not a valid result of " +

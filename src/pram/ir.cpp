@@ -24,6 +24,7 @@ const char* opcode_name(OpCode op) noexcept {
     case OpCode::kRandBelow: return "rand_below";
     case OpCode::kCoin: return "coin";
     case OpCode::kGather: return "gather";
+    case OpCode::kGatherDyn: return "gather_dyn";
   }
   return "?";
 }
@@ -43,6 +44,7 @@ int reads_of(OpCode op) noexcept {
     case OpCode::kGather:
       return 1;
     case OpCode::kSelect:
+    case OpCode::kGatherDyn:
       return 3;
     default:
       return 2;
@@ -52,6 +54,10 @@ int reads_of(OpCode op) noexcept {
 bool writes_dest(OpCode op) noexcept { return op != OpCode::kNop; }
 
 bool reads_window(OpCode op) noexcept { return op == OpCode::kGather; }
+
+bool reads_dyn_window(OpCode op) noexcept {
+  return op == OpCode::kGatherDyn;
+}
 
 Instr Instr::coin(std::uint32_t z, double p) {
   p = std::clamp(p, 0.0, 1.0);
@@ -70,9 +76,15 @@ std::string Instr::to_string() const {
   else if (op == OpCode::kGather)
     s += " <- v[" + std::to_string(y) + " + M[v" + std::to_string(x) +
          "]] window=" + std::to_string(c);
+  else if (op == OpCode::kGatherDyn)
+    s += " <- seg[" + std::to_string(dyn_seg_base(*this)) + " + M[v" +
+         std::to_string(x) + "] + M[v" + std::to_string(y) +
+         "]] bound=v" + std::to_string(c) +
+         " seg_len=" + std::to_string(dyn_seg_len(*this));
   else if (r >= 1)
     s += " <- v" + std::to_string(x);
-  if (r >= 2 && op != OpCode::kSelect && op != OpCode::kGather)
+  if (r >= 2 && op != OpCode::kSelect && op != OpCode::kGather &&
+      op != OpCode::kGatherDyn)
     s += ", v" + std::to_string(y);
   if (op == OpCode::kConst || op == OpCode::kRandBelow || op == OpCode::kCoin)
     s += " imm=" + std::to_string(imm);
@@ -94,8 +106,10 @@ Word eval_deterministic(const Instr& ins, Word x, Word y, Word c) noexcept {
     case OpCode::kLess: return x < y ? 1 : 0;
     case OpCode::kEq: return x == y ? 1 : 0;
     case OpCode::kSelect: return c != 0 ? x : y;
-    // kGather: the caller resolved the window read into y (0 out of range).
+    // kGather / kGatherDyn: the caller resolved the computed window or
+    // segment read into y (0 when out of range).
     case OpCode::kGather: return y;
+    case OpCode::kGatherDyn: return y;
     default: return 0;  // kNop and nondeterministic ops have no det value
   }
 }

@@ -13,13 +13,15 @@
 // every read, the step that last wrote the operand (the "writer table") and
 // thus distinguish current values from tardy clobbers by timestamp.
 //
-// The one extension beyond the paper's static model is kGather: a read
+// Two extensions go beyond the paper's static model: kGather, a read
 // whose target variable is COMPUTED at run time from another variable's
-// value, restricted to a statically declared window.  The writer table
-// still covers it because the table records the last writer of EVERY
-// variable before every step — only the choice of which entry to consult
-// moves to run time.  See the kGather comment below for the exact
-// semantics and the EREW discipline it obeys.
+// value, restricted to a statically declared window; and kGatherDyn,
+// whose window base and bound additionally come from VARIABLES (the shape
+// a CSR row-offset walk needs), restricted to a statically declared
+// segment.  The writer table still covers both because the table records
+// the last writer of EVERY variable before every step — only the choice
+// of which entry to consult moves to run time.  See the per-op comments
+// below for the exact semantics and the EREW discipline each obeys.
 #pragma once
 
 #include <cstdint>
@@ -58,6 +60,21 @@ enum class OpCode : std::uint8_t {
   /// cell is read), so two threads may not gather from overlapping windows
   /// in one step, and no other thread may read a window variable that step.
   kGather,
+  /// Data-DEPENDENT window read: the window base and bound are VARIABLES,
+  /// not constants — this is what a real CSR frontier walk needs, where a
+  /// processor's element range comes from the row-offset array at run
+  /// time.  Let j = M[x] + M[y] (wrapping); if j < M[c] and j < seg_len,
+  /// z = M[seg_base + j], else z = 0.  `x` is the index variable, `y` the
+  /// base-offset variable, `c` the bound variable (all three are ordinary
+  /// exclusive-read operands); imm packs the STATIC segment
+  /// (seg_len << 32 | seg_base) that confines every possible computed
+  /// read, so writer tables and audits stay precomputable.  EREW
+  /// discipline: reads inside a declared segment are CREW — deliberately
+  /// relaxed, because segment cells are frozen data loaded before the
+  /// kernel runs and a concurrent pure read under the same stamp
+  /// discipline is harmless — but any same-step WRITE into any declared
+  /// segment is rejected by the checker.
+  kGatherDyn,
 };
 
 const char* opcode_name(OpCode op) noexcept;
@@ -77,6 +94,10 @@ bool writes_dest(OpCode op) noexcept;
 /// True for kGather: the op performs a second, run-time-addressed read
 /// inside the window [y, y+c).
 bool reads_window(OpCode op) noexcept;
+
+/// True for kGatherDyn: the op performs a run-time-addressed read inside
+/// the static segment packed into imm (base/bound resolved from variables).
+bool reads_dyn_window(OpCode op) noexcept;
 
 struct Instr {
   OpCode op = OpCode::kNop;
@@ -137,6 +158,16 @@ struct Instr {
                       std::uint32_t len) {
     return {OpCode::kGather, z, idx, base, len, 0};
   }
+  /// z = (M[idx] + M[off] < min(M[bound], seg_len))
+  ///         ? M[seg_base + M[idx] + M[off]] : 0.
+  /// `idx`/`off`/`bound` are variable operands; `seg_base`/`seg_len`
+  /// statically declare the segment every computed read stays inside.
+  static Instr gather_dyn(std::uint32_t z, std::uint32_t idx,
+                          std::uint32_t off, std::uint32_t bound,
+                          std::uint32_t seg_base, std::uint32_t seg_len) {
+    return {OpCode::kGatherDyn, z, idx, off, bound,
+            (Word{seg_len} << 32) | seg_base};
+  }
   /// Coin with success probability p (quantized to 32-bit fixed point).
   static Instr coin(std::uint32_t z, double p);
 
@@ -156,10 +187,32 @@ inline constexpr std::uint32_t gather_target(const Instr& ins,
                    : kGatherOutOfRange;
 }
 
+/// The static segment a kGatherDyn confines its computed reads to.
+/// Precondition: ins.op == kGatherDyn.
+inline constexpr std::uint32_t dyn_seg_base(const Instr& ins) noexcept {
+  return static_cast<std::uint32_t>(ins.imm & 0xffffffffULL);
+}
+inline constexpr std::uint32_t dyn_seg_len(const Instr& ins) noexcept {
+  return static_cast<std::uint32_t>(ins.imm >> 32);
+}
+
+/// The variable a kGatherDyn reads given the already-combined index
+/// j = M[x] + M[y] and the resolved bound value M[c], or
+/// kGatherOutOfRange when the read falls outside both limits (result 0).
+/// Precondition: ins.op == kGatherDyn.
+inline constexpr std::uint32_t gather_dyn_target(const Instr& ins, Word j,
+                                                 Word bound) noexcept {
+  return (j < bound && j < dyn_seg_len(ins))
+             ? dyn_seg_base(ins) + static_cast<std::uint32_t>(j)
+             : kGatherOutOfRange;
+}
+
 /// Pure evaluation of a deterministic op on operand values.
 /// Precondition: !is_nondeterministic(op).  For kGather, `x` must be the
 /// index value and `y` the value of the computed target variable (0 when
-/// out of window): the result is then simply that window value.
+/// out of window): the result is then simply that window value.  For
+/// kGatherDyn the caller likewise resolves the computed segment read into
+/// `y` (0 when out of range) and the result is that value.
 Word eval_deterministic(const Instr& ins, Word x, Word y, Word c) noexcept;
 
 /// True iff `v` is a possible result of the (possibly nondeterministic)

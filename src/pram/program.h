@@ -60,15 +60,16 @@ class Program {
   }
 
   /// The step that most recently wrote `var` strictly before step `s`
-  /// (kInitial if none).
+  /// (kInitial if none).  Backed by a sparse per-variable index of write
+  /// steps (binary search over that variable's writes), so graph-scale
+  /// programs don't pay the O(nsteps * nvars) dense table the old layout
+  /// materialized.  Executors resolving computed-index (kGather /
+  /// kGatherDyn) targets call this on their hot path.
   std::uint32_t last_writer_before(std::size_t s, std::uint32_t var) const;
 
-  /// Raw last-writer row for step `s`: nvars() entries, indexed by variable.
-  /// For executors that resolve computed-index (kGather) targets on their
-  /// hot path and cannot afford the double bounds check per lookup.
-  const std::uint32_t* last_writer_row(std::size_t s) const {
-    return last_writer_.at(s).data();
-  }
+  /// True if any instruction is a kGatherDyn (data-dependent window).
+  /// Executors use this to budget the extra operand read per task.
+  bool has_dyn_gather() const noexcept { return has_dyn_gather_; }
 
   /// Validates the EREW discipline: in every step, each variable is read by
   /// at most one thread and written by at most one thread.  A variable may
@@ -89,8 +90,13 @@ class Program {
   std::size_t nvars_;
   std::vector<Step> steps_;
   std::vector<std::vector<OperandWriters>> writers_;  ///< [step][thread]
-  std::vector<std::vector<std::uint32_t>> last_writer_;  ///< [step][var]
+  // Sparse last-writer index: write_steps_ holds, per variable, the sorted
+  // list of steps that write it; write_offsets_ (nvars+1) delimits each
+  // variable's slice (CSR-shaped).
+  std::vector<std::uint32_t> write_steps_;
+  std::vector<std::uint32_t> write_offsets_;
   bool nondet_ = false;
+  bool has_dyn_gather_ = false;
 };
 
 /// Fluent builder:

@@ -17,9 +17,13 @@
 //   * the IRREGULAR kernels (BFS frontier expansion, bitonic merge, CSR
 //     sparse mat-vec, the work-stealing DAG): memory traffic and/or control
 //     flow depend on run-time values — predicated updates via kSelect,
-//     value-driven compare-exchange, computed-index gathers (kGather), and
-//     random dataflow choices.  These are the data-dependent programs the
-//     execution scheme is actually for.
+//     value-driven compare-exchange, computed-index gathers (kGather and
+//     the dynamic-window kGatherDyn, whose window base/bound are read from
+//     CSR row-offset arrays in program memory), and random dataflow
+//     choices.  These are the data-dependent programs the execution scheme
+//     is actually for.  The graph-backed kernels (bfs, spmv) build their
+//     edge data with src/graph/csr.h and scale to n = 1e5 on
+//     min(n, 4096) logical processors.
 //
 // All programs obey the EREW discipline (validated at build()).
 //
@@ -31,6 +35,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "pram/program.h"
@@ -110,22 +115,30 @@ std::uint32_t ring_conflict_var(std::size_t n, std::size_t i);
 // ---------------------------------------------------------------------------
 
 /// BFS frontier expansion on a deterministic pseudo-random directed graph
-/// over n nodes (ring chords at offsets {1, n-1, 3, n-3}, each edge kept or
-/// dropped by a hash of (n, offset, node) — the masks live in program
-/// MEMORY, so which frontier bits propagate is decided by run-time values).
-/// `rounds` frontier waves from source 0; per round every node ORs its
-/// masked in-neighbour frontier bits, joins if unreached, and records its
-/// distance via predicated kSelect updates.  Deterministic.  Requires
-/// n >= 6.  dist[i] = BFS distance from node 0, or bfs_unreached(n) when
-/// node i is farther than `rounds` (or unreachable).
+/// over n nodes (ring chords at the deduped offsets of {1, n-1, 3%n,
+/// (n-3)%n}, each edge kept or dropped by a hash of (n, offset, node)).
+/// The in-edge lists are built into a CSR (src/graph/csr.h), the
+/// delta-compressed column stream is loaded into program MEMORY, and the
+/// program unpacks it through kGatherDyn windows whose base/bound come
+/// from the row-offset data, then runs `rounds` frontier waves gathering
+/// frontier bits through the unpacked columns.  P = min(n, 4096) logical
+/// processors own contiguous weight-balanced vertex slices.
+/// Deterministic.  Requires n >= 6.  dist[i] = BFS distance from node 0,
+/// or bfs_unreached(n) when node i is farther than `rounds` (or
+/// unreachable).
 Program make_bfs_frontier(std::size_t n, std::size_t rounds);
 std::size_t bfs_rounds(std::size_t n);        ///< Canonical round count.
 std::uint32_t bfs_dist_var(std::size_t n, std::size_t i);
 Word bfs_unreached(std::size_t n);            ///< Distance sentinel.
 /// The mask baked into the program for edge (i - offset[o]) -> i; o indexes
-/// the canonical offset list {1, n-1, 3, n-3}.  Exposed so checkers can
-/// rebuild the exact graph.
+/// the canonical offset list {1, n-1, 3%n, (n-3)%n}.  Exposed so checkers
+/// can rebuild the exact graph.
 bool bfs_edge_active(std::size_t n, std::size_t o, std::size_t i);
+/// The DEDUPED canonical offsets as (offset, mask index o) pairs: at small
+/// n two entries of {1, n-1, 3%n, (n-3)%n} can coincide (n=6: 3 == n-3);
+/// each distinct offset is kept once with the FIRST o, so an edge is never
+/// counted twice under two masks.  Checkers iterate exactly this list.
+std::vector<std::pair<std::size_t, std::size_t>> bfs_offsets(std::size_t n);
 
 /// Bitonic (butterfly) merge of a bitonic input: a[0..n/2) ascending,
 /// a[n/2..n) descending.  lg n butterfly stages of value-driven
@@ -137,10 +150,13 @@ std::uint32_t merge_var(std::size_t n, std::size_t i);
 
 /// Sparse matrix-vector product y = A*x in CSR form over a deterministic
 /// pseudo-random sparse matrix (irregular row degrees, hash-scattered
-/// column indices).  The column indices are loaded into program MEMORY and
-/// every x-gather is a computed-index kGather through them — genuine
-/// data-dependent addressing on every executor.  Deterministic.
-/// Requires n >= 2.
+/// column indices).  The instance's duplicate (row, col) pairs are merged
+/// by the CSR builder (coefficients sum; wrapping add keeps y identical)
+/// and the row-offset / column / value arrays are loaded into program
+/// MEMORY: every row walk is a chain of kGatherDyn loads whose window
+/// base/bound come from the row-offset data — genuine data-dependent
+/// addressing on every executor.  P = min(n, 4096) logical processors own
+/// contiguous nnz-balanced row slices.  Deterministic.  Requires n >= 2.
 Program make_spmv_csr(std::size_t n);
 std::uint32_t spmv_y_var(std::size_t n, std::size_t i);
 /// The CSR instance make_spmv_csr(n) bakes (checkers rebuild y from this).
@@ -198,6 +214,13 @@ struct WorkloadSpec {
   /// bench_e12 scaling table, the differential suite's P >> T section and
   /// the fuzzer's large-n trials enumerate these.
   std::vector<std::size_t> scale_ns;
+  /// Per-logical-processor work weights of make(n), or nullptr when every
+  /// processor runs the same instruction mix.  Graph-backed kernels report
+  /// the degree mass of the CSR partition each processor owns; harnesses
+  /// feed this into HostExecConfig::proc_weights (Interleave::kPartition)
+  /// so each OS thread owns a weight-balanced slice of the processors that
+  /// walk those partitions.
+  std::vector<std::uint64_t> (*proc_weights)(std::size_t n) = nullptr;
 };
 
 const std::vector<WorkloadSpec>& workload_registry();

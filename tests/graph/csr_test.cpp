@@ -1,0 +1,154 @@
+// CSR builder + delta encoding + partitioner unit tests (the graph
+// substrate under the CSR-backed bfs/spmv kernels).
+#include "graph/csr.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace apex::graph {
+namespace {
+
+TEST(CsrBuilder, EmptyGraphHasAllEmptyRows) {
+  CsrBuilder b(4, 4);
+  Csr csr = b.build();
+  EXPECT_EQ(csr.n_rows(), 4u);
+  EXPECT_EQ(csr.nnz(), 0u);
+  EXPECT_EQ(csr.row_offsets,
+            (std::vector<std::uint32_t>{0, 0, 0, 0, 0}));
+  EXPECT_EQ(csr.max_degree(), 0u);
+}
+
+TEST(CsrBuilder, EmptyRowsAndIsolatedVerticesKeepOffsetsFlat) {
+  // Rows 0 and 3 have edges; rows 1, 2, 4 are isolated.
+  CsrBuilder b(5, 5);
+  b.add_edge(3, 0);
+  b.add_edge(0, 2);
+  b.add_edge(0, 4);
+  Csr csr = b.build();
+  EXPECT_EQ(csr.row_offsets,
+            (std::vector<std::uint32_t>{0, 2, 2, 2, 3, 3}));
+  EXPECT_EQ(csr.cols, (std::vector<std::uint32_t>{2, 4, 0}));
+  EXPECT_TRUE(csr.vals.empty());
+  EXPECT_EQ(csr.degree(1), 0u);
+  EXPECT_EQ(csr.degree(0), 2u);
+  EXPECT_EQ(csr.max_degree(), 2u);
+}
+
+TEST(CsrBuilder, UnsortedInputComesOutSortedPerRow) {
+  CsrBuilder b(2, 6);
+  b.add_edge(1, 5);
+  b.add_edge(0, 3);
+  b.add_edge(1, 0);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  Csr csr = b.build();
+  EXPECT_EQ(csr.cols, (std::vector<std::uint32_t>{1, 3, 0, 2, 5}));
+  EXPECT_EQ(csr.row_offsets, (std::vector<std::uint32_t>{0, 2, 5}));
+}
+
+TEST(CsrBuilder, DuplicateUnweightedEdgesCollapseToOne) {
+  CsrBuilder b(1, 4);
+  b.add_edge(0, 2);
+  b.add_edge(0, 2);
+  b.add_edge(0, 2);
+  b.add_edge(0, 1);
+  Csr csr = b.build();
+  EXPECT_EQ(csr.cols, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(CsrBuilder, DuplicateWeightedEdgesSumWithWrapping) {
+  CsrBuilder b(1, 4);
+  b.add_edge(0, 1, 7);
+  b.add_edge(0, 1, 5);
+  b.add_edge(0, 3, ~std::uint64_t{0});
+  b.add_edge(0, 3, 2);  // wraps to 1
+  Csr csr = b.build();
+  EXPECT_EQ(csr.cols, (std::vector<std::uint32_t>{1, 3}));
+  EXPECT_EQ(csr.vals, (std::vector<std::uint64_t>{12, 1}));
+}
+
+TEST(CsrBuilder, SingleRowGraph) {
+  CsrBuilder b(1, 100);
+  for (std::uint32_t c : {90u, 10u, 50u}) b.add_edge(0, c, c);
+  Csr csr = b.build();
+  EXPECT_EQ(csr.row_offsets, (std::vector<std::uint32_t>{0, 3}));
+  EXPECT_EQ(csr.cols, (std::vector<std::uint32_t>{10, 50, 90}));
+  EXPECT_EQ(csr.vals, (std::vector<std::uint64_t>{10, 50, 90}));
+}
+
+TEST(CsrBuilder, RejectsOutOfRangeAndMixedEdges) {
+  CsrBuilder b(2, 3);
+  EXPECT_THROW(b.add_edge(2, 0), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 3), std::invalid_argument);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2, 9);
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(Delta, RoundTripsThroughEncodeDecode) {
+  CsrBuilder b(6, 1000);
+  b.add_edge(0, 0);    // column 0 must survive the +1 bias
+  b.add_edge(0, 1);
+  b.add_edge(0, 999);  // large gap inside a row
+  b.add_edge(2, 500);
+  b.add_edge(5, 4);
+  b.add_edge(5, 5);
+  Csr csr = b.build();
+  std::vector<std::uint64_t> delta = delta_encode(csr);
+  ASSERT_EQ(delta.size(), csr.nnz());
+  // First entry of each row is biased absolute; gaps are >= 1.
+  EXPECT_EQ(delta[0], 1u);    // col 0 -> 1
+  EXPECT_EQ(delta[1], 1u);    // gap 0 -> 1
+  EXPECT_EQ(delta[2], 998u);  // gap 1 -> 999
+  for (std::uint64_t d : delta) EXPECT_GE(d, 1u);
+  EXPECT_EQ(delta_decode(csr.row_offsets, delta), csr.cols);
+}
+
+TEST(Delta, DecodeRejectsMalformedStreams) {
+  std::vector<std::uint32_t> offsets{0, 2};
+  EXPECT_THROW(delta_decode(offsets, {1}), std::invalid_argument);
+  EXPECT_THROW(delta_decode(offsets, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(delta_decode(offsets, {1, 0}), std::invalid_argument);
+  EXPECT_EQ(delta_decode(offsets, {3, 4}),
+            (std::vector<std::uint32_t>{2, 6}));
+}
+
+TEST(Partition, BalancesUniformWeightsEvenly) {
+  std::vector<std::uint64_t> w(8, 1);
+  EXPECT_EQ(partition_balanced(w, 4),
+            (std::vector<std::uint32_t>{0, 2, 4, 6, 8}));
+  EXPECT_EQ(partition_balanced(w, 1), (std::vector<std::uint32_t>{0, 8}));
+}
+
+TEST(Partition, SkewedWeightsCutNearProportionalTargets) {
+  // One heavy item up front: it should own a part by itself.
+  std::vector<std::uint64_t> w{100, 1, 1, 1, 1, 1};
+  auto bounds = partition_balanced(w, 2);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), 6u);
+  EXPECT_EQ(bounds[1], 1u);  // heavy row alone in part 0
+}
+
+TEST(Partition, MorePartsThanItemsLeavesTrailingPartsEmpty) {
+  std::vector<std::uint64_t> w{5, 5};
+  auto bounds = partition_balanced(w, 4);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), 2u);
+  for (std::size_t i = 1; i < bounds.size(); ++i)
+    EXPECT_LE(bounds[i - 1], bounds[i]);
+}
+
+TEST(Partition, ZeroWeightsAndZeroItemsAreLegal) {
+  EXPECT_EQ(partition_balanced({}, 3), (std::vector<std::uint32_t>{0, 0, 0, 0}));
+  std::vector<std::uint64_t> w{0, 0, 0, 0};
+  auto bounds = partition_balanced(w, 2);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), 4u);
+  EXPECT_THROW(partition_balanced(w, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace apex::graph

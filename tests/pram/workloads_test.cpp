@@ -186,6 +186,55 @@ TEST(Bfs, RejectsTinySizes) {
   EXPECT_THROW(make_bfs_frontier(8, 0), std::invalid_argument);
 }
 
+TEST(Bfs, OffsetsDedupeAtTheMinNBoundary) {
+  // Regression: at n=6 the chord offsets 3%n and (n-3)%n coincide.  The
+  // offset list must carry each distinct offset ONCE (first mask index
+  // wins) or the shared edge is double-counted under two masks.
+  const auto offs6 = bfs_offsets(6);
+  ASSERT_EQ(offs6.size(), 3u);
+  EXPECT_EQ(offs6[0], (std::pair<std::size_t, std::size_t>{1, 0}));
+  EXPECT_EQ(offs6[1], (std::pair<std::size_t, std::size_t>{5, 1}));
+  EXPECT_EQ(offs6[2], (std::pair<std::size_t, std::size_t>{3, 2}));
+  // Away from the boundary all four offsets are distinct.
+  EXPECT_EQ(bfs_offsets(1000).size(), 4u);
+  // And the n=6 program must agree with a reference BFS over the DEDUPED
+  // edge set, end to end.
+  Program p = make_bfs_frontier(6, bfs_rounds(6));
+  const auto r = Interpreter(p).run_deterministic({});
+  const auto* spec = find_workload("bfs");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->check(6, r.memory), "");
+}
+
+TEST(Workloads, VariableIdNarrowingThrowsInsteadOfWrapping) {
+  // Regression: the u32 narrowing helper silently truncated oversized
+  // variable ids; graph-scale layouts made that reachable.  Any id past
+  // 2^32 must throw, not alias another region's cells.
+  EXPECT_THROW(bfs_dist_var(6, std::size_t{1} << 33), std::overflow_error);
+  EXPECT_THROW(luby_mis_var(std::size_t{1} << 31, 0), std::overflow_error);
+  EXPECT_NO_THROW(bfs_dist_var(6, 5));
+}
+
+TEST(Bfs, PartitionWeightsCoverAllProcessorsAndDegreeMass) {
+  const auto* spec = find_workload("bfs");
+  ASSERT_NE(spec, nullptr);
+  ASSERT_NE(spec->proc_weights, nullptr);
+  const std::size_t n = 64;
+  const auto w = spec->proc_weights(n);
+  const Program p = spec->make(n);
+  ASSERT_EQ(w.size(), p.nthreads());
+  // Total weight = sum over vertices of (2*deg + 2) > 2n for any graph
+  // with at least one edge, and every processor's weight is bounded by a
+  // couple of max-degree vertices above the mean (balanced partition).
+  std::uint64_t total = 0, wmax = 0;
+  for (const auto v : w) {
+    total += v;
+    wmax = std::max(wmax, v);
+  }
+  EXPECT_GT(total, 2u * n);
+  EXPECT_LE(wmax, total / w.size() + 2 * 10);  // mean + 2 heavy vertices
+}
+
 // ---------------------------------------------------------------------------
 // Bitonic butterfly merge (irregular)
 // ---------------------------------------------------------------------------

@@ -14,9 +14,11 @@
 //       invariants.  --engine=host runs it on the virtualized real-thread
 //       executor instead of the simulator: P = n logical processors on
 //       --threads OS threads (0 = one per processor), --interleave=
-//       rr|random|block, --alpha=N clock updates per tick, --seq-cst for
-//       the fidelity memory-order fallback — which is how the large
-//       registry instances (n = 64/128) run on a laptop.
+//       rr|random|block|partition (partition = weight-balanced placement
+//       from the workload's reported per-processor weights), --alpha=N
+//       clock updates per tick, --seq-cst for the fidelity memory-order
+//       fallback — which is how the large registry instances (n = 64/128,
+//       and the graph-scale 1e4/1e5 CSR kernels) run on a laptop.
 //
 //   apexcli host   [--threads=4] [--seed=1]
 //       run bin-array agreement on real std::threads.
@@ -49,7 +51,10 @@
 //       runs the virtualized host executor over T x P x interleave x
 //       memory-order configurations — including the P = 64/128 registry
 //       scale instances — so the real-thread scaling story is measured,
-//       not asserted.  Results are printed as tables and dumped to a JSON
+//       not asserted.  A fourth grid (`graph_rows`) runs the CSR-backed
+//       graph kernels at n = 1e4 under partition-aware vs round-robin
+//       placement; the within-run placement ratio is part of the CI hard
+//       gate.  Results are printed as tables and dumped to a JSON
 //       file that CI archives as the repo's perf trajectory (soft-gated
 //       against the committed baseline).
 //
@@ -66,6 +71,7 @@
 #include <iterator>
 #include <map>
 #include <numeric>
+#include <optional>
 #include <span>
 #include <string>
 #include <thread>
@@ -156,6 +162,21 @@ int cmd_agree(const Args& a) {
   return res.satisfied && st.all() ? 0 : 1;
 }
 
+/// Human-readable description of the n values a workload accepts, assembled
+/// from its registry constraints (min_n / pow2 / even) plus the canonical
+/// scale instances, so a rejected --n tells the user the whole valid range.
+std::string workload_n_range(const pram::WorkloadSpec& spec) {
+  std::string s = "n >= " + std::to_string(spec.min_n);
+  if (spec.pow2_n) s += ", power of two";
+  if (spec.even_n) s += ", even";
+  if (!spec.scale_ns.empty()) {
+    s += "; registered scale instances:";
+    for (const std::size_t sn : spec.scale_ns)
+      s += " " + std::to_string(sn);
+  }
+  return s;
+}
+
 int cmd_exec(const Args& a) {
   const std::string wl = a.str("workload", "luby");
   const pram::WorkloadSpec* spec = pram::find_workload(wl);
@@ -166,13 +187,22 @@ int cmd_exec(const Args& a) {
   }
   const std::size_t n = a.u64("n", 8);
   if (!pram::workload_supports_n(*spec, n)) {
-    std::fprintf(stderr,
-                 "workload '%s' does not support n=%zu (min_n=%zu%s%s)\n",
-                 wl.c_str(), n, spec->min_n,
-                 spec->pow2_n ? ", power of two" : "",
-                 spec->even_n ? ", even" : "");
+    std::fprintf(stderr, "workload '%s' does not support n=%zu (valid: %s)\n",
+                 wl.c_str(), n, workload_n_range(*spec).c_str());
     return 2;
   }
+  // Registry-legal n can still be rejected by the factory (e.g. a variable
+  // layout whose ids overflow uint32 at extreme n); surface that as a clean
+  // diagnostic instead of an uncaught-exception backtrace.
+  std::optional<pram::Program> made;
+  try {
+    made.emplace(spec->make(n));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "workload '%s' rejected n=%zu: %s (valid: %s)\n",
+                 wl.c_str(), n, e.what(), workload_n_range(*spec).c_str());
+    return 2;
+  }
+  const pram::Program& p = *made;
   if (a.str("engine", "batched") == std::string("host")) {
     // The virtualized host executor: P = n logical processors multiplexed
     // onto --threads OS threads (0 = one thread per processor, the legacy
@@ -186,11 +216,23 @@ int cmd_exec(const Args& a) {
         a.u64("alpha", hcfg.os_threads == 0 ? 4096 : 48));
     hcfg.seq_cst = a.kv.count("seq-cst") != 0;
     hcfg.timeout_seconds = 300.0;
+    hcfg.generations = a.u64("generations", hcfg.generations);
     if (!host::parse_interleave(a.str("interleave", "rr"), hcfg.interleave)) {
-      std::fprintf(stderr, "unknown --interleave (rr|random|block)\n");
+      std::fprintf(stderr,
+                   "unknown --interleave (rr|random|block|partition)\n");
       return 2;
     }
-    const pram::Program p = spec->make(n);
+    if (hcfg.interleave == host::Interleave::kPartition) {
+      if (spec->proc_weights == nullptr) {
+        std::fprintf(stderr,
+                     "--interleave=partition needs per-processor weights, "
+                     "and workload '%s' does not report any; use "
+                     "rr|random|block\n",
+                     wl.c_str());
+        return 2;
+      }
+      hcfg.proc_weights = spec->proc_weights(n);
+    }
     for (int attempt = 0; attempt < 3; ++attempt) {
       host::HostExecutor ex(p, hcfg);
       const auto res = ex.run();
@@ -242,7 +284,6 @@ int cmd_exec(const Args& a) {
           ? exec::Scheme::kDeterministic
           : exec::Scheme::kNondeterministic;
 
-  const pram::Program p = spec->make(n);
   const auto chk = exec::run_checked(p, scheme, cfg);
   std::printf("exec: workload=%s (%s%s) n=%zu steps=%zu scheme=%s sched=%s\n",
               wl.c_str(), spec->deterministic ? "det" : "nondet",
@@ -576,6 +617,69 @@ HostPerfRow run_host_perf(const char* name, std::size_t n, std::size_t T,
   return r;
 }
 
+/// Graph-scale throughput: the CSR-backed kernels at registry scale
+/// (n = 1e4 — thousands of logical processors walking partitioned CSR row
+/// slices via dynamic-window gathers) on the virtualized host executor.
+/// Each workload runs under partition-aware placement AND round-robin in
+/// the same invocation, so the emitted `graph_rows` carry a
+/// machine-relative within-run ratio (partition / rr work-per-sec) that CI
+/// hard-gates alongside the engine ratios.  Single run per config (these
+/// are long, honest protocol executions); a detected-damage run is retried
+/// on a fresh seed, same policy as the host rows.
+struct GraphPerfRow {
+  const char* workload;
+  std::size_t n;
+  std::size_t threads;
+  const char* policy;
+  bool completed;
+  bool ok;
+  std::uint64_t work;
+  std::size_t lost;
+  std::size_t repaired;
+  double seconds;
+  double work_per_sec;
+};
+
+GraphPerfRow run_graph_perf(const char* name, std::size_t n, std::size_t T,
+                            host::Interleave il) {
+  const pram::WorkloadSpec* spec = pram::find_workload(name);
+  const pram::Program p = spec->make(n);
+  GraphPerfRow r{name, n,    T,   host::interleave_name(il),
+                 true, true, 0,   0,
+                 0,    0.0,  0.0};
+  host::HostExecConfig cfg;
+  cfg.seed = 41;
+  cfg.os_threads = T;
+  cfg.interleave = il;
+  cfg.clock_alpha = 32.0;  // virtualized graph operating point
+  cfg.generations = 6;
+  cfg.timeout_seconds = 600.0;
+  if (il == host::Interleave::kPartition && spec->proc_weights != nullptr)
+    cfg.proc_weights = spec->proc_weights(n);
+  bool clean = false;
+  for (int attempt = 0; attempt < 4 && !clean; ++attempt) {
+    host::HostExecutor ex(p, cfg);
+    const auto res = ex.run();
+    r.completed &= res.completed;
+    r.lost += res.lost_commits;
+    r.repaired += res.repaired_commits;
+    if (!res.completed) break;
+    if (res.lost_commits != 0) {
+      cfg.seed += 1000;
+      continue;
+    }
+    clean = true;
+    std::vector<pram::Word> mem(res.memory.begin(), res.memory.end());
+    r.ok &= spec->check(n, mem).empty();
+    r.seconds = res.wall_seconds;
+    r.work = res.total_work;
+  }
+  r.ok &= clean;
+  r.work_per_sec =
+      r.seconds > 0 ? static_cast<double>(r.work) / r.seconds : 0.0;
+  return r;
+}
+
 int cmd_perfbench(const Args& a) {
   const bool quick = a.kv.count("quick") != 0;
   const std::uint64_t steps =
@@ -649,6 +753,13 @@ int cmd_perfbench(const Args& a) {
     host_rows.push_back(
         run_host_perf(pt.wl, pt.n, pt.T, pt.il, pt.seq_cst, pt.alpha, reps));
 
+  // Graph-scale rows: each CSR kernel at n = 1e4 under partition-aware
+  // placement vs round-robin (the within-run ratio CI hard-gates).
+  std::vector<GraphPerfRow> graph_rows;
+  for (const char* gname : {"bfs", "spmv"})
+    for (auto il : {host::Interleave::kPartition, host::Interleave::kRoundRobin})
+      graph_rows.push_back(run_graph_perf(gname, 10'000, 2, il));
+
   Table t({"sched", "n", "observer", "engine", "steps", "sec", "steps/sec"});
   for (const auto& r : rows)
     t.row()
@@ -687,10 +798,26 @@ int cmd_perfbench(const Args& a) {
         .cell(r.work)
         .cell(r.seconds, 3)
         .cell(r.work_per_sec, 0);
+  Table gt({"workload", "n", "T", "policy", "completed", "invariants",
+            "lost", "repaired", "work", "sec", "work/sec"});
+  for (const auto& r : graph_rows)
+    gt.row()
+        .cell(r.workload)
+        .cell(static_cast<std::uint64_t>(r.n))
+        .cell(static_cast<std::uint64_t>(r.threads))
+        .cell(r.policy)
+        .cell(r.completed ? "yes" : "NO")
+        .cell(r.ok ? "ok" : "VIOLATED")
+        .cell(static_cast<std::uint64_t>(r.lost))
+        .cell(static_cast<std::uint64_t>(r.repaired))
+        .cell(r.work)
+        .cell(r.seconds, 3)
+        .cell(r.work_per_sec, 0);
   if (a.kv.count("csv")) {
     t.print_csv(std::cout);
     wt.print_csv(std::cout);
     ht.print_csv(std::cout);
+    gt.print_csv(std::cout);
   } else {
     t.print(std::cout);
     std::printf("\nworkload throughput (full scheme, nondet, batched):\n");
@@ -698,6 +825,17 @@ int cmd_perfbench(const Args& a) {
     std::printf("\nhost throughput (virtualized executor, P procs on T "
                 "threads; T=0 = one thread per proc):\n");
     ht.print(std::cout);
+    std::printf("\ngraph-scale throughput (CSR kernels, P=min(n,4096) on "
+                "T=2 threads, alpha=32):\n");
+    gt.print(std::cout);
+  }
+  for (const auto& b : graph_rows) {
+    if (std::string(b.policy) != "partition") continue;
+    for (const auto& s : graph_rows)
+      if (std::string(s.workload) == b.workload && s.n == b.n &&
+          std::string(s.policy) == "rr" && s.work_per_sec > 0)
+        std::printf("graph %s n=%zu: partition/rr placement ratio %.2fx\n",
+                    b.workload, b.n, b.work_per_sec / s.work_per_sec);
   }
 
   // Engine speedup on the headline configuration (round_robin, observer
@@ -879,10 +1017,25 @@ int cmd_perfbench(const Args& a) {
         << ", \"work\": " << r.work << ", \"work_per_sec\": " << buf << "}"
         << (i + 1 < host_rows.size() ? "," : "") << "\n";
   }
+  out << "  ],\n";
+  out << "  \"graph_rows\": [\n";
+  for (std::size_t i = 0; i < graph_rows.size(); ++i) {
+    const auto& r = graph_rows[i];
+    std::snprintf(buf, sizeof buf, "%.1f", r.work_per_sec);
+    out << "    {\"workload\": \"" << r.workload << "\", \"n\": " << r.n
+        << ", \"threads\": " << r.threads << ", \"policy\": \"" << r.policy
+        << "\", \"completed\": " << (r.completed ? "true" : "false")
+        << ", \"invariants_ok\": " << (r.ok ? "true" : "false")
+        << ", \"lost_commits\": " << r.lost
+        << ", \"repaired_commits\": " << r.repaired
+        << ", \"work\": " << r.work << ", \"work_per_sec\": " << buf << "}"
+        << (i + 1 < graph_rows.size() ? "," : "") << "\n";
+  }
   out << "  ]\n}\n";
-  std::printf("wrote %s (%zu core + %zu workload + %zu host configs)\n",
+  std::printf("wrote %s (%zu core + %zu workload + %zu host + %zu graph "
+              "configs)\n",
               out_path.c_str(), rows.size(), wl_rows.size(),
-              host_rows.size());
+              host_rows.size(), graph_rows.size());
   return 0;
 }
 
@@ -986,8 +1139,11 @@ int main(int argc, char** argv) {
       "  agree --n=64 --sched=uniform --seed=1 --beta=8\n"
       "  exec  --workload=NAME --n=8 --scheme=nondet|det --sched=uniform\n"
       "        --seed=1 --engine=batched|single_step|host\n"
-      "        (host engine: --threads=T --interleave=rr|random|block\n"
-      "         --alpha=N --seq-cst; T=0 = one thread per processor)\n"
+      "        (host engine: --threads=T "
+      "--interleave=rr|random|block|partition\n"
+      "         --alpha=N --generations=G --seq-cst; T=0 = one thread per\n"
+      "         processor; partition uses the workload's reported\n"
+      "         per-processor weights)\n"
       "        (workloads: %s)\n"
       "  host  --threads=4 --seed=1\n"
       "  sweep --n=16,32,64 --sched=uniform,burst --seeds=3 --jobs=1 --beta=8\n"
