@@ -8,6 +8,9 @@
 #include "batch/sweep.h"
 #include "consensus/scan_consensus.h"
 #include "exec/executor.h"
+#include "lang/compile.h"
+#include "lang/gen.h"
+#include "pram/interp.h"
 #include "pram/workloads.h"
 
 namespace apex::check {
@@ -249,6 +252,123 @@ TrialOutcome run_workload_trial(const TrialSpec& spec, const FuzzConfig& cfg,
   return out;
 }
 
+/// Everything a kGrammar trial derives from its seed alone: the generated
+/// source, whether nondeterministic ops were allowed, and which grant
+/// engine runs it.  Deriving from the SEED (not the trial index) keeps
+/// repro files self-contained — replaying a dumped seed regenerates the
+/// identical program on the identical engine.
+struct GrammarDraw {
+  lang::GeneratedProgram gen;
+  bool deterministic = false;
+  sim::GrantEngine engine = sim::GrantEngine::kBatched;
+};
+
+GrammarDraw draw_grammar(std::uint64_t seed) {
+  GrammarDraw d;
+  d.deterministic = (seed & 1) != 0;
+  d.engine = ((seed >> 1) & 1) != 0 ? sim::GrantEngine::kSingleStep
+                                    : sim::GrantEngine::kBatched;
+  d.gen = lang::generate_program({seed, d.deterministic});
+  return d;
+}
+
+TrialOutcome run_grammar_trial(const TrialSpec& spec, const FuzzConfig& cfg,
+                               bool record) {
+  TrialOutcome out;
+  const GrammarDraw draw = draw_grammar(spec.seed);
+
+  // The whole language front-end is under test: generated source must
+  // compile cleanly (the generator is EREW-valid by construction), so a
+  // diagnostic here is a front-end or generator bug, not a bad input.
+  const lang::CompileResult comp = lang::compile_source(draw.gen.source);
+  if (!comp.ok()) {
+    out.failed = true;
+    out.oracle = "grammar_compile";
+    out.message = lang::render_diagnostics(draw.gen.source, comp.diagnostics);
+    return out;
+  }
+  const pram::Program& prog = *comp.program;
+
+  FuzzedSchedule* fz = nullptr;
+  RecordingSchedule* rec = nullptr;
+  exec::ExecConfig ec;
+  ec.seed = spec.seed;
+  ec.engine = draw.engine;
+  ec.schedule_factory = [&](std::size_t nprocs, apex::Rng rng) {
+    auto inner = build_adversary(spec, nprocs, rng);
+    if (spec.script == nullptr && spec.fuzzed)
+      fz = static_cast<FuzzedSchedule*>(inner.get());
+    if (!record) return inner;
+    auto wrapped = std::make_unique<RecordingSchedule>(std::move(inner));
+    rec = wrapped.get();
+    return std::unique_ptr<sim::Schedule>(std::move(wrapped));
+  };
+  exec::Executor ex(prog, exec::Scheme::kNondeterministic, ec);
+
+  WorkAccountingOracle work;
+  ClockOracle clock(ex.clock(), prog.nthreads(), cfg.skew_ticks);
+  BinArrayOracle bins(*ex.bins(), [](std::size_t, sim::Word) { return true; });
+  // Same doubled cap as the workload trials: multi-phase runs have a wider
+  // legitimate clobber tail than the single-phase agreement calibration.
+  ClobberOracle clobbers(*ex.bins(), ex.clock(),
+                         cfg.clobber_bound != 0
+                             ? cfg.clobber_bound
+                             : 2 * ClobberOracle::default_bound(
+                                       prog.nthreads()));
+  OracleSet set;
+  set.add(&work);
+  set.add(&clock);
+  set.add(&bins);
+  set.add(&clobbers);
+  ex.simulator().add_observer(&set);
+  ex.set_agreement_observer(&set);
+
+  try {
+    const std::uint64_t budget =
+        spec.budget != 0 ? spec.budget : exec::Executor::default_budget(prog);
+    const auto res = ex.run(budget);
+    set.finish(ex.simulator());
+    if (const Oracle* o = set.first_failing()) {
+      out.failed = true;
+      out.oracle = o->name();
+      out.message = o->failures().front();
+    } else if (res.completed && res.incomplete_tasks == 0) {
+      // Differential oracles (same contract as the workload trials): a run
+      // the scheme considers clean must be consistent with some valid
+      // synchronous execution, and a deterministic program's final memory
+      // must match the reference interpreter bit-for-bit.
+      const std::vector<pram::Word> zeros(prog.nvars(), 0);
+      const std::string cons = pram::check_execution_consistency(
+          prog, zeros, res.produced, res.memory);
+      if (!cons.empty()) {
+        out.failed = true;
+        out.oracle = "grammar_consistency";
+        out.message = cons;
+      } else if (!prog.is_nondeterministic()) {
+        const auto ref = pram::Interpreter(prog).run_deterministic(zeros);
+        if (ref.memory != res.memory) {
+          out.failed = true;
+          out.oracle = "grammar_determinism";
+          out.message =
+              "deterministic generated program diverged from the reference "
+              "interpreter (seed " +
+              std::to_string(spec.seed) + ")";
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    out.failed = true;
+    out.oracle = "exception";
+    out.message = e.what();
+  }
+  if (fz != nullptr) out.schedule_desc = fz->describe();
+  if (rec != nullptr) {
+    out.trace = rec->trace();
+    trim_to_executed(out.trace, ex.simulator());
+  }
+  return out;
+}
+
 /// Shrink: find the shortest grant-trace prefix that still trips the same
 /// oracle, by binary search over the prefix length (replays are cheap and
 /// fully deterministic, so ~log2(trace) re-runs).
@@ -295,6 +415,7 @@ const char* fuzz_protocol_name(FuzzProtocol p) noexcept {
     case FuzzProtocol::kAgreement: return "agreement";
     case FuzzProtocol::kConsensus: return "consensus";
     case FuzzProtocol::kWorkload: return "workload";
+    case FuzzProtocol::kGrammar: return "grammar";
   }
   return "?";
 }
@@ -315,6 +436,8 @@ TrialOutcome run_trial(const TrialSpec& spec, const FuzzConfig& cfg,
         return run_consensus_trial(spec, cfg, record);
       case FuzzProtocol::kWorkload:
         return run_workload_trial(spec, cfg, record);
+      case FuzzProtocol::kGrammar:
+        return run_grammar_trial(spec, cfg, record);
     }
     throw std::logic_error("run_trial: unknown protocol");
   } catch (const std::exception& e) {
@@ -332,6 +455,20 @@ TrialSpec make_trial_spec(const FuzzConfig& cfg, std::size_t i) {
   TrialSpec ts;
   ts.fuzzed = true;
   ts.seed = rng.next();
+  if (cfg.grammar_only || i % 8 == 6) {
+    // Grammar-generated programs through the language front-end and the
+    // full execution scheme.  Everything else about the trial (the program
+    // text, det/nondet, grant engine) is derived from ts.seed inside
+    // run_grammar_trial, so repro files stay self-contained.
+    ts.protocol = FuzzProtocol::kGrammar;
+    const GrammarDraw draw = draw_grammar(ts.seed);
+    ts.n = draw.gen.nthreads;
+    const lang::CompileResult comp = lang::compile_source(draw.gen.source);
+    // A generator/compiler bug surfaces as the grammar_compile finding when
+    // the trial runs; budget 1 here just keeps the spec well-formed.
+    ts.budget = comp.ok() ? exec::Executor::default_budget(*comp.program) : 1;
+    return ts;
+  }
   if (i % 4 == 1) {
     ts.protocol = FuzzProtocol::kConsensus;
     static constexpr std::size_t kNs[] = {3, 4, 6, 8};
@@ -480,6 +617,8 @@ Repro load_repro(const std::string& path) {
         r.protocol = FuzzProtocol::kConsensus;
       else if (v == "workload")
         r.protocol = FuzzProtocol::kWorkload;
+      else if (v == "grammar")
+        r.protocol = FuzzProtocol::kGrammar;
       else
         throw std::runtime_error("load_repro: unknown protocol " + v);
     } else if (key == "workload") {

@@ -24,7 +24,7 @@
 
 namespace apex::check {
 
-enum class FuzzProtocol { kAgreement, kConsensus, kWorkload };
+enum class FuzzProtocol { kAgreement, kConsensus, kWorkload, kGrammar };
 const char* fuzz_protocol_name(FuzzProtocol p) noexcept;
 
 /// The registered PRAM workloads the fuzzer draws kWorkload trials from:
@@ -32,6 +32,16 @@ const char* fuzz_protocol_name(FuzzProtocol p) noexcept;
 /// scheme (exec::Executor, nondeterministic) under a FuzzedSchedule with
 /// the invariant oracles attached, plus the workload's own final-memory
 /// verdict and the produced-trace consistency oracle.
+///
+/// kGrammar trials add a second adversary axis: a seed-deterministic
+/// grammar-generated .pram program (lang::generate_program) is compiled
+/// through the full language front-end, run through the execution scheme
+/// under the same oracle set, checked against the produced-trace
+/// consistency oracle, and — when the generated program is deterministic —
+/// diffed bit-for-bit against the reference interpreter's replay.  A
+/// compile failure of generated source is itself a finding
+/// (oracle "grammar_compile"): the generator emits EREW-valid programs by
+/// construction.
 const std::vector<const char*>& fuzz_workload_pool();
 
 struct FuzzConfig {
@@ -43,6 +53,9 @@ struct FuzzConfig {
   /// Oracle tolerances (see oracle.h).
   std::uint64_t skew_ticks = 2;
   std::uint32_t clobber_bound = 0;  ///< 0 = ClobberOracle::default_bound.
+  /// Restrict the corpus to kGrammar trials (the CI grammar smoke and
+  /// `apexcli fuzz --grammar`); the default mix interleaves all protocols.
+  bool grammar_only = false;
 };
 
 /// One fully-specified trial (also the self-test's and replayer's entry

@@ -1,0 +1,116 @@
+#include "lang/lexer.h"
+
+namespace apex::lang {
+
+const char* tok_kind_name(TokKind k) noexcept {
+  switch (k) {
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kInt: return "integer";
+    case TokKind::kLBrace: return "'{'";
+    case TokKind::kRBrace: return "'}'";
+    case TokKind::kLBracket: return "'['";
+    case TokKind::kRBracket: return "']'";
+    case TokKind::kComma: return "','";
+    case TokKind::kColon: return "':'";
+    case TokKind::kEq: return "'='";
+    case TokKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool is_ident_char(char c) {
+  return is_ident_start(c) || (c >= '0' && c <= '9');
+}
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace
+
+std::vector<Token> lex(const SourceFile& src,
+                       std::vector<Diagnostic>& diags) {
+  std::vector<Token> toks;
+  const std::string& s = src.text;
+  Loc loc;  // line 1, col 1, offset 0
+  auto advance = [&](std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (s[loc.offset] == '\n') {
+        ++loc.line;
+        loc.col = 1;
+      } else {
+        ++loc.col;
+      }
+      ++loc.offset;
+    }
+  };
+  while (loc.offset < s.size()) {
+    const char c = s[loc.offset];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '#') {
+      while (loc.offset < s.size() && s[loc.offset] != '\n') advance(1);
+      continue;
+    }
+    const Loc start = loc;
+    if (is_ident_start(c)) {
+      std::size_t end = loc.offset;
+      while (end < s.size() && is_ident_char(s[end])) ++end;
+      Token t{TokKind::kIdent, start, s.substr(loc.offset, end - loc.offset)};
+      advance(end - loc.offset);
+      toks.push_back(std::move(t));
+      continue;
+    }
+    if (is_digit(c)) {
+      std::size_t end = loc.offset;
+      std::uint64_t v = 0;
+      bool overflow = false;
+      while (end < s.size() && is_digit(s[end])) {
+        const std::uint64_t d = static_cast<std::uint64_t>(s[end] - '0');
+        if (v > (UINT64_MAX - d) / 10) overflow = true;
+        if (!overflow) v = v * 10 + d;
+        ++end;
+      }
+      if (overflow) {
+        diags.push_back({start, "integer literal '" +
+                                    s.substr(loc.offset, end - loc.offset) +
+                                    "' does not fit in 64 bits"});
+        break;
+      }
+      Token t{TokKind::kInt, start,
+              s.substr(loc.offset, end - loc.offset), v};
+      advance(end - loc.offset);
+      toks.push_back(std::move(t));
+      continue;
+    }
+    TokKind k;
+    switch (c) {
+      case '{': k = TokKind::kLBrace; break;
+      case '}': k = TokKind::kRBrace; break;
+      case '[': k = TokKind::kLBracket; break;
+      case ']': k = TokKind::kRBracket; break;
+      case ',': k = TokKind::kComma; break;
+      case ':': k = TokKind::kColon; break;
+      case '=': k = TokKind::kEq; break;
+      default:
+        diags.push_back({start, std::string("unexpected character '") + c +
+                                    "'"});
+        Token end_tok;
+        end_tok.loc = loc;
+        toks.push_back(end_tok);
+        return toks;
+    }
+    toks.push_back({k, start, std::string(1, c)});
+    advance(1);
+  }
+  Token end_tok;
+  end_tok.loc = loc;
+  toks.push_back(end_tok);
+  return toks;
+}
+
+}  // namespace apex::lang

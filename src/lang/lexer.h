@@ -1,0 +1,46 @@
+// Tokenizer for the .pram kernel language.
+//
+// The language is whitespace- and newline-insensitive; `#` starts a
+// comment that runs to end of line.  Identifiers are [A-Za-z_][A-Za-z0-9_]*
+// (keywords are ordinary identifiers resolved by the parser); integer
+// literals are strict decimal digits — no sign, no leading whitespace
+// baked into the token, no hex.  Punctuation: { } [ ] , : =
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/source.h"
+
+namespace apex::lang {
+
+enum class TokKind : std::uint8_t {
+  kIdent,
+  kInt,
+  kLBrace,   // {
+  kRBrace,   // }
+  kLBracket, // [
+  kRBracket, // ]
+  kComma,    // ,
+  kColon,    // :
+  kEq,       // =
+  kEnd,      // end of input
+};
+
+const char* tok_kind_name(TokKind k) noexcept;
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  Loc loc;
+  std::string text;          ///< Identifier spelling / literal spelling.
+  std::uint64_t value = 0;   ///< For kInt.
+};
+
+/// Tokenize the whole file.  On a lexical error (stray character, integer
+/// overflowing 64 bits) a diagnostic is appended and lexing stops; the
+/// token stream always ends with a kEnd token.
+std::vector<Token> lex(const SourceFile& src,
+                       std::vector<Diagnostic>& diags);
+
+}  // namespace apex::lang

@@ -1,0 +1,237 @@
+#include "lang/parser.h"
+
+namespace apex::lang {
+
+namespace {
+
+/// Opcode keywords that introduce an instruction, in OpCode order; the
+/// spellings are exactly pram::opcode_name so emitted programs are
+/// self-describing.
+std::optional<pram::OpCode> opcode_from_keyword(const std::string& kw) {
+  using pram::OpCode;
+  static constexpr OpCode kAll[] = {
+      OpCode::kNop,    OpCode::kConst, OpCode::kCopy,      OpCode::kAdd,
+      OpCode::kSub,    OpCode::kMul,   OpCode::kMin,       OpCode::kMax,
+      OpCode::kXor,    OpCode::kAnd,   OpCode::kOr,        OpCode::kLess,
+      OpCode::kEq,     OpCode::kSelect, OpCode::kRandBelow, OpCode::kCoin,
+      OpCode::kGather, OpCode::kGatherDyn};
+  for (OpCode op : kAll)
+    if (kw == pram::opcode_name(op)) return op;
+  return std::nullopt;
+}
+
+class Parser {
+ public:
+  Parser(const std::vector<Token>& toks, std::vector<Diagnostic>& diags)
+      : toks_(toks), diags_(diags) {}
+
+  std::optional<ProgramSrc> run() {
+    ProgramSrc p;
+    if (!expect_keyword("pram")) return std::nullopt;
+    const Token* name = expect(TokKind::kIdent, "program name");
+    if (!name) return std::nullopt;
+    p.name = name->text;
+    p.name_loc = name->loc;
+    while (!at(TokKind::kEnd)) {
+      if (!parse_item(p)) return std::nullopt;
+    }
+    return p;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(TokKind k) const { return cur().kind == k; }
+  const Token& take() { return toks_[pos_++]; }
+
+  void error_here(const std::string& msg) {
+    diags_.push_back({cur().loc, msg});
+  }
+
+  const Token* expect(TokKind k, const char* what) {
+    if (!at(k)) {
+      error_here(std::string("expected ") + what + ", found " +
+                 describe(cur()));
+      return nullptr;
+    }
+    return &take();
+  }
+
+  bool expect_keyword(const char* kw) {
+    if (!at(TokKind::kIdent) || cur().text != kw) {
+      error_here(std::string("expected '") + kw + "', found " +
+                 describe(cur()));
+      return false;
+    }
+    take();
+    return true;
+  }
+
+  static std::string describe(const Token& t) {
+    switch (t.kind) {
+      case TokKind::kIdent: return "'" + t.text + "'";
+      case TokKind::kInt: return "'" + t.text + "'";
+      case TokKind::kEnd: return "end of input";
+      default: return tok_kind_name(t.kind);
+    }
+  }
+
+  bool parse_item(ProgramSrc& p) {
+    if (!at(TokKind::kIdent)) {
+      error_here("expected a declaration or 'step', found " + describe(cur()));
+      return false;
+    }
+    const std::string& kw = cur().text;
+    if (kw == "procs") {
+      p.procs_loc = take().loc;
+      const Token* n = expect(TokKind::kInt, "processor count");
+      if (!n) return false;
+      p.procs = n->value;
+      return true;
+    }
+    if (kw == "vars") {
+      p.vars_loc = take().loc;
+      const Token* n = expect(TokKind::kInt, "variable count");
+      if (!n) return false;
+      p.vars = n->value;
+      return true;
+    }
+    if (kw == "var") {
+      take();
+      const Token* name = expect(TokKind::kIdent, "variable name");
+      if (!name) return false;
+      VarDeclSrc d{name->loc, name->text, 1};
+      if (at(TokKind::kLBracket)) {
+        take();
+        const Token* cnt = expect(TokKind::kInt, "array size");
+        if (!cnt) return false;
+        d.count = cnt->value;
+        if (!expect(TokKind::kRBracket, "']'")) return false;
+      }
+      p.var_decls.push_back(std::move(d));
+      return true;
+    }
+    if (kw == "segment") {
+      take();
+      const Token* name = expect(TokKind::kIdent, "segment name");
+      if (!name) return false;
+      SegDeclSrc d;
+      d.loc = name->loc;
+      d.name = name->text;
+      if (!expect(TokKind::kEq, "'='")) return false;
+      if (!parse_ref(d.base)) return false;
+      if (!expect(TokKind::kColon, "':'")) return false;
+      const Token* len = expect(TokKind::kInt, "segment length");
+      if (!len) return false;
+      d.len = len->value;
+      d.len_loc = len->loc;
+      p.seg_decls.push_back(std::move(d));
+      return true;
+    }
+    if (kw == "step") {
+      StepSrc st;
+      st.loc = take().loc;
+      if (!expect(TokKind::kLBrace, "'{'")) return false;
+      while (!at(TokKind::kRBrace)) {
+        LaneSrc lane;
+        if (!parse_lane(lane)) return false;
+        st.lanes.push_back(std::move(lane));
+      }
+      take();  // '}'
+      p.steps.push_back(std::move(st));
+      return true;
+    }
+    error_here("expected a declaration or 'step', found " + describe(cur()));
+    return false;
+  }
+
+  bool parse_lane(LaneSrc& lane) {
+    const Token* t = expect(TokKind::kInt, "lane index");
+    if (!t) return false;
+    lane.lane = t->value;
+    lane.lane_loc = t->loc;
+    if (!expect(TokKind::kColon, "':'")) return false;
+    if (!at(TokKind::kIdent)) {
+      error_here("expected an instruction, found " + describe(cur()));
+      return false;
+    }
+    const Token& op_tok = take();
+    const auto op = opcode_from_keyword(op_tok.text);
+    if (!op) {
+      diags_.push_back({op_tok.loc,
+                        "unknown instruction '" + op_tok.text + "'"});
+      return false;
+    }
+    lane.op = *op;
+    lane.op_loc = op_tok.loc;
+    using pram::OpCode;
+    switch (*op) {
+      case OpCode::kNop:
+        return true;
+      case OpCode::kConst:
+      case OpCode::kRandBelow:
+      case OpCode::kCoin:
+        return parse_ref(lane.z) && comma() && parse_imm(lane);
+      case OpCode::kCopy:
+        return parse_ref(lane.z) && comma() && parse_ref(lane.x);
+      case OpCode::kSelect:
+        // Source order z, cond, x, y mirrors "z = cond ? x : y".
+        return parse_ref(lane.z) && comma() && parse_ref(lane.c) && comma() &&
+               parse_ref(lane.x) && comma() && parse_ref(lane.y);
+      case OpCode::kGather:
+        return parse_ref(lane.z) && comma() && parse_ref(lane.x) && comma() &&
+               parse_ref(lane.y) && comma() && parse_imm(lane);
+      case OpCode::kGatherDyn: {
+        if (!(parse_ref(lane.z) && comma() && parse_ref(lane.x) && comma() &&
+              parse_ref(lane.y) && comma() && parse_ref(lane.c) && comma()))
+          return false;
+        const Token* seg = expect(TokKind::kIdent, "segment name");
+        if (!seg) return false;
+        lane.seg_name = seg->text;
+        lane.seg_loc = seg->loc;
+        return true;
+      }
+      default:  // two-operand ALU ops
+        return parse_ref(lane.z) && comma() && parse_ref(lane.x) && comma() &&
+               parse_ref(lane.y);
+    }
+  }
+
+  bool comma() { return expect(TokKind::kComma, "','") != nullptr; }
+
+  bool parse_imm(LaneSrc& lane) {
+    const Token* t = expect(TokKind::kInt, "an integer immediate");
+    if (!t) return false;
+    lane.imm = t->value;
+    lane.imm_loc = t->loc;
+    return true;
+  }
+
+  bool parse_ref(Ref& r) {
+    const Token* name = expect(TokKind::kIdent, "a variable reference");
+    if (!name) return false;
+    r.loc = name->loc;
+    r.name = name->text;
+    if (at(TokKind::kLBracket)) {
+      take();
+      const Token* idx = expect(TokKind::kInt, "a subscript");
+      if (!idx) return false;
+      r.has_subscript = true;
+      r.subscript = idx->value;
+      if (!expect(TokKind::kRBracket, "']'")) return false;
+    }
+    return true;
+  }
+
+  const std::vector<Token>& toks_;
+  std::vector<Diagnostic>& diags_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<ProgramSrc> parse(const std::vector<Token>& toks,
+                                std::vector<Diagnostic>& diags) {
+  return Parser(toks, diags).run();
+}
+
+}  // namespace apex::lang

@@ -1,0 +1,105 @@
+// Recursive-descent parser for the .pram kernel language.
+//
+// Grammar (whitespace-insensitive, `#` comments):
+//
+//   program  := "pram" IDENT item*
+//   item     := "procs" INT
+//             | "vars" INT                       (total variable count)
+//             | "var" IDENT ("[" INT "]")?       (named var / array, allocated
+//                                                 sequentially after "vars")
+//             | "segment" IDENT "=" ref ":" INT  (gather_dyn segment: base:len)
+//             | "step" "{" lane* "}"
+//   lane     := INT ":" instr                    (lane = thread index)
+//   instr    := "nop"
+//             | "const" ref "," INT
+//             | "copy" ref "," ref
+//             | BINOP ref "," ref "," ref        (add sub mul min max xor and
+//                                                 or less eq)
+//             | "select" ref "," ref "," ref "," ref     (z, cond, x, y)
+//             | "rand_below" ref "," INT
+//             | "coin" ref "," INT               (raw 32-bit fixed-point imm)
+//             | "gather" ref "," ref "," ref "," INT     (z, idx, window base,
+//                                                         window len)
+//             | "gather_dyn" ref "," ref "," ref "," ref "," IDENT
+//                                                (z, idx, off, bound, segment)
+//   ref      := IDENT ("[" INT "]")?
+//
+// A ref spelled `v<digits>` that is not shadowed by a declaration is a RAW
+// variable index (`v12` = variable 12) — this is the form the emitter
+// produces, so machine-generated kernels need no declarations.  Declared
+// names may not collide with keywords or the raw `v<digits>` pattern.
+//
+// The parser produces a faithful source-level tree (every operand keeps
+// its Loc); all semantic rules live in compile.h.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/lexer.h"
+#include "lang/source.h"
+#include "pram/ir.h"
+
+namespace apex::lang {
+
+/// A variable reference as written: name plus optional [index] subscript.
+struct Ref {
+  Loc loc;
+  std::string name;
+  bool has_subscript = false;
+  std::uint64_t subscript = 0;
+};
+
+/// One `lane: instr` entry inside a step.
+struct LaneSrc {
+  Loc lane_loc;
+  std::uint64_t lane = 0;
+  Loc op_loc;
+  pram::OpCode op = pram::OpCode::kNop;
+  Ref z, x, y, c;            ///< Used according to the op's arity.
+  std::uint64_t imm = 0;     ///< const/rand_below/coin imm, gather window len.
+  Loc imm_loc;
+  std::string seg_name;      ///< gather_dyn segment reference.
+  Loc seg_loc;
+};
+
+struct StepSrc {
+  Loc loc;
+  std::vector<LaneSrc> lanes;
+};
+
+struct VarDeclSrc {
+  Loc loc;
+  std::string name;
+  std::uint64_t count = 1;   ///< Array size (1 for scalars).
+};
+
+struct SegDeclSrc {
+  Loc loc;
+  std::string name;
+  Ref base;
+  std::uint64_t len = 0;
+  Loc len_loc;
+};
+
+struct ProgramSrc {
+  std::string name;
+  Loc name_loc;
+  std::optional<std::uint64_t> procs;
+  Loc procs_loc;
+  std::optional<std::uint64_t> vars;  ///< Declared total variable count.
+  Loc vars_loc;
+  std::vector<VarDeclSrc> var_decls;
+  std::vector<SegDeclSrc> seg_decls;
+  std::vector<StepSrc> steps;
+};
+
+/// Parse the token stream.  Returns nullopt when a parse error was
+/// appended to `diags` (parsing stops at the first syntax error; semantic
+/// errors are batched later by the compiler).
+std::optional<ProgramSrc> parse(const std::vector<Token>& toks,
+                                std::vector<Diagnostic>& diags);
+
+}  // namespace apex::lang

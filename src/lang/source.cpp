@@ -1,0 +1,36 @@
+#include "lang/source.h"
+
+#include <sstream>
+
+namespace apex::lang {
+
+std::string SourceFile::line_at(const Loc& loc) const {
+  std::size_t begin = loc.offset > text.size() ? text.size() : loc.offset;
+  while (begin > 0 && text[begin - 1] != '\n') --begin;
+  std::size_t end = begin;
+  while (end < text.size() && text[end] != '\n') ++end;
+  return text.substr(begin, end - begin);
+}
+
+std::string render_diagnostic(const SourceFile& src, const Diagnostic& d) {
+  std::ostringstream os;
+  os << src.name << ':' << d.loc.line << ':' << d.loc.col << ": error: "
+     << d.message << '\n';
+  const std::string line = src.line_at(d.loc);
+  os << "  " << line << '\n';
+  os << "  ";
+  // Tabs copied through so the caret lines up at any tab width.
+  for (std::size_t i = 0; i + 1 < d.loc.col && i < line.size(); ++i)
+    os << (line[i] == '\t' ? '\t' : ' ');
+  os << "^\n";
+  return os.str();
+}
+
+std::string render_diagnostics(const SourceFile& src,
+                               const std::vector<Diagnostic>& ds) {
+  std::string out;
+  for (const Diagnostic& d : ds) out += render_diagnostic(src, d);
+  return out;
+}
+
+}  // namespace apex::lang

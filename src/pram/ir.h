@@ -171,6 +171,11 @@ struct Instr {
   /// Coin with success probability p (quantized to 32-bit fixed point).
   static Instr coin(std::uint32_t z, double p);
 
+  /// Field-wise equality — the "bit-for-bit" relation the .pram round-trip
+  /// tests pin (lang::emit_pram followed by lang::compile_source must
+  /// reproduce every field of every instruction).
+  bool operator==(const Instr&) const = default;
+
   std::string to_string() const;
 };
 

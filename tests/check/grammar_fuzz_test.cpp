@@ -1,0 +1,109 @@
+// The kGrammar fuzz protocol: seed-deterministic grammar-generated .pram
+// programs compiled through the language front-end and run through the
+// execution scheme under the full oracle set, with the consistency check
+// and (for deterministic draws) the interpreter differential attached.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "check/fuzz.h"
+
+namespace apex::check {
+namespace {
+
+TEST(GrammarFuzz, ProtocolNameRoundTrips) {
+  EXPECT_STREQ(fuzz_protocol_name(FuzzProtocol::kGrammar), "grammar");
+}
+
+TEST(GrammarFuzz, MixedCorpusContainsGrammarTrials) {
+  FuzzConfig cfg;
+  cfg.seed = 1;
+  std::size_t grammar = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    const TrialSpec ts = make_trial_spec(cfg, i);
+    if (ts.protocol == FuzzProtocol::kGrammar) {
+      ++grammar;
+      EXPECT_GE(ts.n, 6u);      // clobber-cap soundness envelope
+      EXPECT_GT(ts.budget, 1u); // real budget from the compiled program
+    }
+  }
+  EXPECT_EQ(grammar, 8u);  // every i % 8 == 6 slot
+}
+
+TEST(GrammarFuzz, GrammarOnlyModeRestrictsTheCorpus) {
+  FuzzConfig cfg;
+  cfg.grammar_only = true;
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_EQ(make_trial_spec(cfg, i).protocol, FuzzProtocol::kGrammar);
+}
+
+// The pinned-seed corpus the CI smoke runs at larger scale: every trial
+// must come back clean, and the report must be deterministic in the seed.
+TEST(GrammarFuzz, PinnedCorpusRunsClean) {
+  FuzzConfig cfg;
+  cfg.trials = 32;
+  cfg.seed = 1;
+  cfg.jobs = 1;
+  cfg.shrink = false;
+  cfg.grammar_only = true;
+  const FuzzReport rep = run_fuzz(cfg);
+  EXPECT_EQ(rep.trials, 32u);
+  for (const auto& f : rep.failures)
+    ADD_FAILURE() << "trial " << f.trial << " oracle " << f.oracle << ": "
+                  << f.message;
+}
+
+TEST(GrammarFuzz, TrialsAreDeterministicAcrossJobs) {
+  FuzzConfig cfg;
+  cfg.trials = 24;
+  cfg.seed = 7;
+  cfg.shrink = false;
+  cfg.grammar_only = true;
+  cfg.jobs = 1;
+  const FuzzReport a = run_fuzz(cfg);
+  cfg.jobs = 4;
+  const FuzzReport b = run_fuzz(cfg);
+  EXPECT_EQ(a.failures.size(), b.failures.size());
+  EXPECT_EQ(a.trials, b.trials);
+}
+
+TEST(GrammarFuzz, ReproFileRoundTripsGrammarProtocol) {
+  Repro r;
+  r.protocol = FuzzProtocol::kGrammar;
+  r.n = 7;
+  r.seed = 1234;
+  r.budget = 5000;
+  r.oracle = "grammar_determinism";
+  const std::string path =
+      testing::TempDir() + "/grammar_roundtrip.repro";
+  write_repro(path, r);
+  const Repro back = load_repro(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(back.protocol, FuzzProtocol::kGrammar);
+  EXPECT_EQ(back.n, 7u);
+  EXPECT_EQ(back.seed, 1234u);
+  EXPECT_EQ(back.budget, 5000u);
+  EXPECT_EQ(back.oracle, "grammar_determinism");
+}
+
+/// A grammar repro is self-contained in its seed: replaying a synthetic
+/// repro for a CLEAN trial must come back clean (no oracle fires), proving
+/// the replay path regenerates and re-runs the same program.
+TEST(GrammarFuzz, ReplayRegeneratesTheTrialFromItsSeed) {
+  FuzzConfig cfg;
+  cfg.grammar_only = true;
+  cfg.seed = 1;
+  const TrialSpec ts = make_trial_spec(cfg, 2);
+  ASSERT_EQ(ts.protocol, FuzzProtocol::kGrammar);
+  Repro r;
+  r.protocol = FuzzProtocol::kGrammar;
+  r.n = ts.n;
+  r.seed = ts.seed;
+  r.budget = ts.budget;
+  r.oracle = "none-expected";
+  const TrialOutcome out = replay_repro(r, cfg);
+  EXPECT_FALSE(out.failed) << out.oracle << ": " << out.message;
+}
+
+}  // namespace
+}  // namespace apex::check

@@ -67,16 +67,25 @@ TEST(Fuzz, ReportIdenticalAcrossJobs) {
 
 TEST(Fuzz, TrialGridIsDeterministicAndMixed) {
   FuzzConfig cfg;
-  std::size_t agreement = 0, consensus = 0;
+  std::size_t agreement = 0, consensus = 0, workload = 0, grammar = 0;
   for (std::size_t i = 0; i < 64; ++i) {
     const TrialSpec a = make_trial_spec(cfg, i);
     const TrialSpec b = make_trial_spec(cfg, i);
     EXPECT_EQ(a.seed, b.seed);
     EXPECT_EQ(a.n, b.n);
-    (a.protocol == FuzzProtocol::kAgreement ? agreement : consensus) += 1;
+    switch (a.protocol) {
+      case FuzzProtocol::kAgreement: ++agreement; break;
+      case FuzzProtocol::kConsensus: ++consensus; break;
+      case FuzzProtocol::kWorkload: ++workload; break;
+      case FuzzProtocol::kGrammar: ++grammar; break;
+    }
   }
-  EXPECT_EQ(agreement, 32u);
-  EXPECT_EQ(consensus, 32u);
+  // i%4==1 -> consensus, i%4==3 -> workload, i%8==6 -> grammar (carved out
+  // of the agreement slots), rest agreement.
+  EXPECT_EQ(agreement, 24u);
+  EXPECT_EQ(consensus, 16u);
+  EXPECT_EQ(workload, 16u);
+  EXPECT_EQ(grammar, 8u);
 }
 
 // A failure injected via a harsh tolerance exercises the full pipeline:

@@ -1,0 +1,100 @@
+#include "lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace apex::lang {
+namespace {
+
+std::vector<Token> lex_ok(const std::string& text) {
+  SourceFile src{"<test>", text};
+  std::vector<Diagnostic> diags;
+  auto toks = lex(src, diags);
+  EXPECT_TRUE(diags.empty()) << (diags.empty() ? "" : diags[0].message);
+  return toks;
+}
+
+TEST(Lexer, TokenKindsAndValues) {
+  const auto toks = lex_ok("pram demo { } [ ] , : = 42");
+  ASSERT_EQ(toks.size(), 11u);  // 10 tokens + kEnd
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[0].text, "pram");
+  EXPECT_EQ(toks[1].text, "demo");
+  EXPECT_EQ(toks[2].kind, TokKind::kLBrace);
+  EXPECT_EQ(toks[3].kind, TokKind::kRBrace);
+  EXPECT_EQ(toks[4].kind, TokKind::kLBracket);
+  EXPECT_EQ(toks[5].kind, TokKind::kRBracket);
+  EXPECT_EQ(toks[6].kind, TokKind::kComma);
+  EXPECT_EQ(toks[7].kind, TokKind::kColon);
+  EXPECT_EQ(toks[8].kind, TokKind::kEq);
+  EXPECT_EQ(toks[9].kind, TokKind::kInt);
+  EXPECT_EQ(toks[9].value, 42u);
+  EXPECT_EQ(toks.back().kind, TokKind::kEnd);
+}
+
+TEST(Lexer, LocationsAreOneBasedLineAndCol) {
+  const auto toks = lex_ok("pram p\n  procs 4\n");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.col, 1u);
+  EXPECT_EQ(toks[1].loc.col, 6u);
+  EXPECT_EQ(toks[2].loc.line, 2u);
+  EXPECT_EQ(toks[2].loc.col, 3u);   // after two-space indent
+  EXPECT_EQ(toks[3].loc.line, 2u);
+  EXPECT_EQ(toks[3].loc.col, 9u);
+}
+
+TEST(Lexer, CommentsRunToEndOfLine) {
+  const auto toks = lex_ok("# whole-line comment\npram x # trailing\n42");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "pram");
+  EXPECT_EQ(toks[1].text, "x");
+  EXPECT_EQ(toks[2].value, 42u);
+}
+
+TEST(Lexer, UnderscoreIdentifiers) {
+  const auto toks = lex_ok("_x gather_dyn a1_b2");
+  EXPECT_EQ(toks[0].text, "_x");
+  EXPECT_EQ(toks[1].text, "gather_dyn");
+  EXPECT_EQ(toks[2].text, "a1_b2");
+}
+
+TEST(Lexer, MaxUint64Literal) {
+  const auto toks = lex_ok("18446744073709551615");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].value, 18446744073709551615ULL);
+}
+
+TEST(Lexer, IntegerOverflowIsDiagnosed) {
+  SourceFile src{"<test>", "pram p\n18446744073709551616"};
+  std::vector<Diagnostic> diags;
+  const auto toks = lex(src, diags);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("does not fit in 64 bits"),
+            std::string::npos);
+  EXPECT_EQ(diags[0].loc.line, 2u);
+  EXPECT_EQ(toks.back().kind, TokKind::kEnd);  // stream still terminated
+}
+
+TEST(Lexer, StrayCharacterIsDiagnosed) {
+  SourceFile src{"<test>", "pram p\n  @bad"};
+  std::vector<Diagnostic> diags;
+  lex(src, diags);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].loc.line, 2u);
+  EXPECT_EQ(diags[0].loc.col, 3u);
+}
+
+TEST(Lexer, RenderDiagnosticHasCaretUnderColumn) {
+  SourceFile src{"bad.pram", "pram p\n  @bad"};
+  std::vector<Diagnostic> diags;
+  lex(src, diags);
+  ASSERT_EQ(diags.size(), 1u);
+  const std::string out = render_diagnostic(src, diags[0]);
+  EXPECT_NE(out.find("bad.pram:2:3: error:"), std::string::npos);
+  EXPECT_NE(out.find("  @bad\n"), std::string::npos);
+  // Caret line: two-space gutter + (col-1) pad puts the ^ under the @.
+  EXPECT_NE(out.find("\n    ^\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apex::lang

@@ -79,42 +79,34 @@
 
 #include "batch/sweep.h"
 #include "core/apex.h"
+#include "lang/compile.h"
+#include "lang/emit.h"
+#include "util/cliargs.h"
 
 using namespace apex;
 
 namespace {
 
+/// Strict digits-only parse (util/cliargs): " 5" and "+5" are rejected,
+/// matching the "non-negative integer" the message promises.  Usage errors
+/// exit 2.
 std::uint64_t parse_u64(const char* flag, const std::string& value) {
-  try {
-    std::size_t pos = 0;
-    const std::uint64_t v = std::stoull(value, &pos);
-    if (pos != value.size() || value[0] == '-')
-      throw std::invalid_argument(value);
-    return v;
-  } catch (const std::exception&) {
+  const auto v = cli::parse_u64_strict(value);
+  if (!v) {
     std::fprintf(stderr, "--%s expects a non-negative integer, got '%s'\n",
                  flag, value.c_str());
     std::exit(2);
   }
+  return *v;
 }
 
-struct Args {
-  std::string cmd;
-  std::map<std::string, std::string> kv;
-
+/// Parsed argv plus typed accessors.  Every token is accounted for:
+/// main() validates flags and positionals against the subcommand's
+/// declared contract before dispatch, so typos fail loudly (exit 2)
+/// instead of silently running with defaults.
+struct Args : cli::ParsedArgs {
   static Args parse(int argc, char** argv) {
-    Args a;
-    if (argc >= 2) a.cmd = argv[1];
-    for (int i = 2; i < argc; ++i) {
-      std::string s = argv[i];
-      if (s.rfind("--", 0) != 0) continue;
-      const auto eq = s.find('=');
-      if (eq == std::string::npos)
-        a.kv[s.substr(2)] = "1";
-      else
-        a.kv[s.substr(2, eq - 2)] = s.substr(eq + 1);
-    }
-    return a;
+    return Args{cli::parse_argv(argc, argv)};
   }
 
   std::uint64_t u64(const char* key, std::uint64_t dflt) const {
@@ -177,7 +169,120 @@ std::string workload_n_range(const pram::WorkloadSpec& spec) {
   return s;
 }
 
+/// `apexcli exec FILE.pram`: compile a kernel-language source through the
+/// front-end and run it on the chosen engine — the simulator execution
+/// scheme (batched or single_step grant engine, with the produced-trace
+/// consistency check attached) or the virtualized host executor.  A
+/// deterministic program is additionally diffed bit-for-bit against the
+/// reference interpreter's replay from zero memory, so `exec` on a .pram
+/// file is a full differential run, not just "it didn't crash".
+int run_pram_file(const Args& a, const std::string& path) {
+  lang::SourceFile src;
+  const lang::CompileResult comp = lang::compile_file(path, src);
+  if (!comp.ok()) {
+    std::fputs(lang::render_diagnostics(src, comp.diagnostics).c_str(),
+               stderr);
+    return 1;
+  }
+  const pram::Program& p = *comp.program;
+  const std::string engine = a.str("engine", "batched");
+  std::printf("exec: file=%s (%s) procs=%zu vars=%zu steps=%zu engine=%s\n",
+              path.c_str(), p.is_nondeterministic() ? "nondet" : "det",
+              p.nthreads(), p.nvars(), p.nsteps(), engine.c_str());
+  const auto interp_diff = [&p](const std::vector<pram::Word>& mem) {
+    if (p.is_nondeterministic()) return 0;
+    const auto ref = pram::Interpreter(p).run_deterministic(
+        std::vector<pram::Word>(p.nvars(), 0));
+    if (mem != ref.memory) {
+      std::printf("  DIVERGED from reference interpreter replay\n");
+      return 1;
+    }
+    std::printf("  interpreter replay: match\n");
+    return 0;
+  };
+  if (engine == "host") {
+    host::HostExecConfig hcfg;
+    hcfg.seed = a.u64("seed", 1);
+    hcfg.os_threads = a.u64("threads", 0);
+    hcfg.clock_alpha = static_cast<double>(
+        a.u64("alpha", hcfg.os_threads == 0 ? 4096 : 48));
+    hcfg.seq_cst = a.kv.count("seq-cst") != 0;
+    hcfg.timeout_seconds = 300.0;
+    hcfg.generations = a.u64("generations", hcfg.generations);
+    if (!host::parse_interleave(a.str("interleave", "rr"), hcfg.interleave)) {
+      std::fprintf(stderr,
+                   "unknown --interleave (rr|random|block|partition)\n");
+      return 2;
+    }
+    if (hcfg.interleave == host::Interleave::kPartition) {
+      std::fprintf(stderr,
+                   "--interleave=partition needs per-processor weights, and "
+                   ".pram sources carry none; use rr|random|block\n");
+      return 2;
+    }
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      host::HostExecutor ex(p, hcfg);
+      const auto res = ex.run();
+      std::printf("  completed=%s work=%llu stamp_misses=%llu "
+                  "lost_commits=%zu repaired_commits=%zu wall=%.3fs\n",
+                  res.completed ? "yes" : "NO",
+                  static_cast<unsigned long long>(res.total_work),
+                  static_cast<unsigned long long>(res.stamp_misses),
+                  res.lost_commits, res.repaired_commits, res.wall_seconds);
+      if (!res.completed) {
+        std::printf("  aborted: %s\n",
+                    res.error.empty() ? "timeout" : res.error.c_str());
+        return 1;
+      }
+      if (res.lost_commits != 0) {
+        std::printf("  detected unrepairable preemption damage; re-running "
+                    "on a fresh seed\n");
+        hcfg.seed += 1000;
+        continue;
+      }
+      const std::vector<pram::Word> mem(res.memory.begin(), res.memory.end());
+      return interp_diff(mem);
+    }
+    std::printf("  damaged on every attempt\n");
+    return 1;
+  }
+  exec::ExecConfig cfg;
+  cfg.seed = a.u64("seed", 1);
+  cfg.schedule = parse_sched(a.str("sched", "uniform"));
+  cfg.engine = engine == std::string("single_step")
+                   ? sim::GrantEngine::kSingleStep
+                   : sim::GrantEngine::kBatched;
+  const exec::Scheme scheme = a.str("scheme", "nondet") == std::string("det")
+                                  ? exec::Scheme::kDeterministic
+                                  : exec::Scheme::kNondeterministic;
+  const auto chk = exec::run_checked(p, scheme, cfg);
+  std::printf("  completed=%s work=%llu incomplete_tasks=%llu "
+              "stamp_misses=%llu\n",
+              chk.result.completed ? "yes" : "NO",
+              static_cast<unsigned long long>(chk.result.total_work),
+              static_cast<unsigned long long>(chk.result.incomplete_tasks),
+              static_cast<unsigned long long>(chk.result.stamp_misses));
+  if (!chk.result.completed) {
+    std::printf("  did not complete within budget\n");
+    return 1;
+  }
+  if (!chk.consistency_error.empty()) {
+    std::printf("  INCONSISTENT: %s\n", chk.consistency_error.c_str());
+    return 1;
+  }
+  std::printf("  consistency: ok\n");
+  return interp_diff(chk.result.memory);
+}
+
 int cmd_exec(const Args& a) {
+  if (!a.positional.empty()) {
+    if (a.kv.count("workload") || a.kv.count("n")) {
+      std::fprintf(stderr, "exec takes either a .pram file or a registry "
+                           "--workload/--n, not both\n");
+      return 2;
+    }
+    return run_pram_file(a, a.positional[0]);
+  }
   const std::string wl = a.str("workload", "luby");
   const pram::WorkloadSpec* spec = pram::find_workload(wl);
   if (spec == nullptr) {
@@ -310,6 +415,68 @@ int cmd_exec(const Args& a) {
     return 1;
   }
   std::printf("  invariants: ok\n");
+  return 0;
+}
+
+/// `apexcli compile FILE.pram`: run the front-end only.  On success the
+/// validated program's IR dump (pram::Program::to_string) goes to stdout —
+/// CI diffs this against committed goldens for every in-tree kernel.  On
+/// failure the file:line:col caret diagnostics go to stderr and the exit
+/// code is 1; usage errors (no file) exit 2.
+int cmd_compile(const Args& a) {
+  if (a.positional.empty()) {
+    std::fprintf(stderr, "compile: expected a .pram source file\n"
+                         "run 'apexcli' with no arguments for usage\n");
+    return 2;
+  }
+  lang::SourceFile src;
+  const lang::CompileResult comp = lang::compile_file(a.positional[0], src);
+  if (!comp.ok()) {
+    std::fputs(lang::render_diagnostics(src, comp.diagnostics).c_str(),
+               stderr);
+    return 1;
+  }
+  std::fputs(comp.program->to_string().c_str(), stdout);
+  return 0;
+}
+
+/// `apexcli emit --workload=NAME --n=N`: render a registry kernel as
+/// canonical .pram source (lang::emit_pram) on stdout.  This is the
+/// regeneration path for the shipped kernels/*.pram files; the round-trip
+/// test pins compile(emit(p)) == p bit-for-bit.
+int cmd_emit(const Args& a) {
+  const std::string wl = a.str("workload", "");
+  if (wl.empty()) {
+    std::fprintf(stderr, "emit: --workload=NAME is required (have: %s)\n",
+                 pram::workload_names().c_str());
+    return 2;
+  }
+  const pram::WorkloadSpec* spec = pram::find_workload(wl);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s'; have: %s\n", wl.c_str(),
+                 pram::workload_names().c_str());
+    return 2;
+  }
+  const std::size_t n = a.u64("n", 8);
+  if (!pram::workload_supports_n(*spec, n)) {
+    std::fprintf(stderr, "workload '%s' does not support n=%zu (valid: %s)\n",
+                 wl.c_str(), n, workload_n_range(*spec).c_str());
+    return 2;
+  }
+  std::optional<pram::Program> made;
+  try {
+    made.emplace(spec->make(n));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "workload '%s' rejected n=%zu: %s (valid: %s)\n",
+                 wl.c_str(), n, e.what(), workload_n_range(*spec).c_str());
+    return 2;
+  }
+  const std::string name = wl + "_n" + std::to_string(n);
+  const std::string comment =
+      "registry kernel '" + wl + "' at n=" + std::to_string(n) +
+      ", rendered by the canonical emitter.\nRegenerate with: apexcli emit "
+      "--workload=" + wl + " --n=" + std::to_string(n);
+  std::fputs(lang::emit_pram(*made, name, comment).c_str(), stdout);
   return 0;
 }
 
@@ -1096,11 +1263,17 @@ int cmd_fuzz(const Args& a) {
   cfg.seed = a.u64("seed", 1);
   cfg.shrink = !a.kv.count("no-shrink");
   cfg.repro_dir = a.str("repro-dir", "");
+  cfg.grammar_only = a.kv.count("grammar") != 0;
 
   const auto rep = check::run_fuzz(cfg);
-  std::printf("fuzz: %zu trials (agreement+consensus+workload x fuzzed "
-              "oblivious schedules), seed=%llu\n",
-              rep.trials, static_cast<unsigned long long>(cfg.seed));
+  if (cfg.grammar_only)
+    std::printf("fuzz: %zu trials (grammar-generated programs x fuzzed "
+                "oblivious schedules), seed=%llu\n",
+                rep.trials, static_cast<unsigned long long>(cfg.seed));
+  else
+    std::printf("fuzz: %zu trials (agreement+consensus+workload+grammar x "
+                "fuzzed oblivious schedules), seed=%llu\n",
+                rep.trials, static_cast<unsigned long long>(cfg.seed));
   for (const auto& f : rep.failures) {
     std::printf("FAILURE trial=%zu protocol=%s%s%s n=%zu seed=%llu oracle=%s\n",
                 f.trial, check::fuzz_protocol_name(f.protocol),
@@ -1122,19 +1295,41 @@ int cmd_fuzz(const Args& a) {
   return rep.ok() ? 0 : 1;
 }
 
-}  // namespace
+/// Per-subcommand contract: the exact flag set it accepts plus how many
+/// positional arguments it takes.  main() rejects anything outside the
+/// contract with exit 2 before dispatch — the strict-argument guarantee
+/// the regression tests pin.
+struct CmdContract {
+  const char* name;
+  std::vector<std::string> flags;
+  std::size_t max_positional;
+};
 
-int main(int argc, char** argv) {
-  const Args a = Args::parse(argc, argv);
-  if (a.cmd == "agree") return cmd_agree(a);
-  if (a.cmd == "exec") return cmd_exec(a);
-  if (a.cmd == "host") return cmd_host(a);
-  if (a.cmd == "sweep") return cmd_sweep(a);
-  if (a.cmd == "fuzz") return cmd_fuzz(a);
-  if (a.cmd == "perfbench") return cmd_perfbench(a);
-  if (a.cmd == "sched") return cmd_sched();
+const std::vector<CmdContract>& command_contracts() {
+  static const std::vector<CmdContract> kContracts = {
+      {"agree", {"n", "sched", "seed", "beta"}, 0},
+      {"exec",
+       {"workload", "n", "scheme", "sched", "seed", "engine", "threads",
+        "interleave", "alpha", "generations", "seq-cst"},
+       1},  // the optional positional is a .pram source file
+      {"compile", {}, 1},
+      {"emit", {"workload", "n"}, 0},
+      {"host", {"threads", "seed"}, 0},
+      {"sweep", {"n", "sched", "seeds", "jobs", "beta", "csv"}, 0},
+      {"fuzz",
+       {"trials", "jobs", "seed", "no-shrink", "repro-dir", "replay",
+        "selftest", "skew", "clobber-bound", "grammar"},
+       0},
+      {"perfbench", {"quick", "steps", "reps", "out", "csv"}, 0},
+      {"sched", {}, 0},
+  };
+  return kContracts;
+}
+
+int usage(const std::string& cmd) {
   std::printf(
-      "usage: apexcli <agree|exec|host|sweep|fuzz|perfbench|sched> "
+      "usage: apexcli "
+      "<agree|exec|compile|emit|host|sweep|fuzz|perfbench|sched> "
       "[--key=value ...]\n"
       "  agree --n=64 --sched=uniform --seed=1 --beta=8\n"
       "  exec  --workload=NAME --n=8 --scheme=nondet|det --sched=uniform\n"
@@ -1145,13 +1340,50 @@ int main(int argc, char** argv) {
       "         processor; partition uses the workload's reported\n"
       "         per-processor weights)\n"
       "        (workloads: %s)\n"
+      "  exec  FILE.pram [--engine=...] [--sched=...] [--seed=1]\n"
+      "        compile a kernel-language source and run it (deterministic\n"
+      "        programs are diffed against the reference interpreter)\n"
+      "  compile FILE.pram     front-end only: IR dump to stdout, or\n"
+      "        file:line:col diagnostics to stderr (exit 1)\n"
+      "  emit  --workload=NAME --n=8   render a registry kernel as .pram\n"
       "  host  --threads=4 --seed=1\n"
       "  sweep --n=16,32,64 --sched=uniform,burst --seeds=3 --jobs=1 --beta=8\n"
       "        [--csv]\n"
-      "  fuzz  --trials=500 --jobs=1 --seed=1 [--no-shrink]\n"
+      "  fuzz  --trials=500 --jobs=1 --seed=1 [--no-shrink] [--grammar]\n"
       "        [--repro-dir=DIR] [--replay=FILE] [--selftest]\n"
       "  perfbench [--quick] [--steps=N] [--out=BENCH_core.json] [--csv]\n"
       "  sched\n",
       pram::workload_names().c_str());
-  return a.cmd.empty() ? 0 : 2;
+  return cmd.empty() ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = Args::parse(argc, argv);
+  const CmdContract* contract = nullptr;
+  for (const auto& c : command_contracts())
+    if (a.cmd == c.name) contract = &c;
+  if (contract == nullptr) {
+    if (!a.cmd.empty())
+      std::fprintf(stderr, "apexcli: unknown subcommand '%s'\n",
+                   a.cmd.c_str());
+    return usage(a.cmd);
+  }
+  const std::string err =
+      cli::validate_args(a, contract->flags, contract->max_positional);
+  if (!err.empty()) {
+    std::fprintf(stderr, "apexcli: %s\n", err.c_str());
+    std::fprintf(stderr, "run 'apexcli' with no arguments for usage\n");
+    return 2;
+  }
+  if (a.cmd == "agree") return cmd_agree(a);
+  if (a.cmd == "exec") return cmd_exec(a);
+  if (a.cmd == "compile") return cmd_compile(a);
+  if (a.cmd == "emit") return cmd_emit(a);
+  if (a.cmd == "host") return cmd_host(a);
+  if (a.cmd == "sweep") return cmd_sweep(a);
+  if (a.cmd == "fuzz") return cmd_fuzz(a);
+  if (a.cmd == "perfbench") return cmd_perfbench(a);
+  return cmd_sched();
 }
